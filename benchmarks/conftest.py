@@ -1,0 +1,94 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every table and figure of the paper has one benchmark module.  Each module
+computes its rows/series, prints them, and writes them to
+``benchmarks/results/<experiment>.txt`` so the regenerated artefacts survive
+pytest's output capturing.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` (default 0.25) — node-count multiplier for the large
+  dataset analogs.  ``1.0`` reproduces the full-size analogs (slow).
+* ``REPRO_BENCH_BUDGET`` (default "bench") — "bench" or "full" method budgets
+  from :mod:`repro.baselines.registry`.
+"""
+
+import os
+
+import pytest
+
+from repro.baselines import make_method
+from repro.graph import load_dataset
+from repro.graph.datasets import WEBKB_NETWORKS
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The WebKB analogs are tiny (195-265 nodes); they always run at full size.
+FULL_SIZE_DATASETS = set(WEBKB_NETWORKS)
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def bench_budget() -> str:
+    return os.environ.get("REPRO_BENCH_BUDGET", "bench")
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def dataset_scale(name: str) -> float:
+    return 1.0 if name in FULL_SIZE_DATASETS else bench_scale()
+
+
+def lp_config(**overrides):
+    """CoANE's validation-tuned link-prediction profile (see the registry's
+    ``task="linkpred"``), used as the base configuration by every figure
+    benchmark whose metric is link-prediction AUC."""
+    from repro.core import CoANEConfig
+
+    base = dict(num_walks=1, subsample_t=1e-5, gamma=1e4, epochs=30, seed=bench_seed())
+    base.update(overrides)
+    return CoANEConfig(**base)
+
+
+def save_result(experiment: str, text: str):
+    """Print the regenerated table/series and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+class EmbeddingStore:
+    """Caches full-graph embeddings across benchmark modules so classification
+    (Table 2/3), clustering (Table 4/5) and t-SNE (Fig. 3) reuse one fit per
+    (method, dataset) pair."""
+
+    def __init__(self):
+        self._graphs = {}
+        self._embeddings = {}
+
+    def graph(self, dataset: str):
+        key = (dataset, bench_seed(), dataset_scale(dataset))
+        if key not in self._graphs:
+            self._graphs[key] = load_dataset(dataset, seed=bench_seed(),
+                                             scale=dataset_scale(dataset))
+        return self._graphs[key]
+
+    def embeddings(self, method: str, dataset: str):
+        key = (method, dataset, bench_seed())
+        if key not in self._embeddings:
+            graph = self.graph(dataset)
+            estimator = make_method(method, embedding_dim=128, seed=bench_seed(),
+                                    budget=bench_budget())
+            self._embeddings[key] = estimator.fit_transform(graph)
+        return self._embeddings[key]
+
+
+@pytest.fixture(scope="session")
+def store():
+    return EmbeddingStore()

@@ -1,0 +1,56 @@
+"""Figure 5 — what neighborhoods do random-walk contexts cover?
+
+The paper visualises one node's random-walk paths vs its first-two-hop
+neighborhood on the t-SNE plot, observing that walk contexts concentrate on
+the node's own cluster.  Numerically: the label purity (fraction of covered
+nodes sharing the anchor's label) of walk-context neighborhoods should be at
+least comparable to the 2-hop ball's purity, with far fewer covered nodes.
+"""
+
+import numpy as np
+
+from repro.utils.tables import format_table
+from repro.walks import RandomWalker, extract_contexts
+from repro.walks.contexts import PAD
+
+from benchmarks.conftest import bench_seed, save_result
+
+
+def test_fig5_neighbor_coverage(benchmark, store):
+    def run():
+        graph = store.graph("cora")
+        rng = np.random.default_rng(bench_seed())
+        anchors = rng.choice(graph.num_nodes, size=30, replace=False)
+        walker = RandomWalker(graph, seed=bench_seed())
+        walks = walker.walk(80, num_walks=1)
+        contexts = extract_contexts(walks, 5, graph.num_nodes,
+                                    subsample_t=1e-5, seed=bench_seed())
+        walk_purity, walk_size = [], []
+        hop_purity, hop_size = [], []
+        for anchor in anchors:
+            windows = contexts.contexts_of(int(anchor))
+            covered = np.unique(windows[windows != PAD])
+            covered = covered[covered != anchor]
+            if len(covered):
+                walk_purity.append((graph.labels[covered] == graph.labels[anchor]).mean())
+                walk_size.append(len(covered))
+            ball = graph.khop_neighbors(int(anchor), 2)
+            if len(ball):
+                hop_purity.append((graph.labels[ball] == graph.labels[anchor]).mean())
+                hop_size.append(len(ball))
+        return {
+            "walk_purity": float(np.mean(walk_purity)),
+            "walk_size": float(np.mean(walk_size)),
+            "hop_purity": float(np.mean(hop_purity)),
+            "hop_size": float(np.mean(hop_size)),
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig5_neighbor_coverage", format_table(
+        ["neighborhood", "mean label purity", "mean size"],
+        [["random-walk contexts", stats["walk_purity"], stats["walk_size"]],
+         ["first two hops", stats["hop_purity"], stats["hop_size"]]],
+        title="Fig. 5 (neighbor selection, Cora analog)"))
+    # Shape: walk contexts are at least as pure as the 2-hop ball and smaller.
+    assert stats["walk_purity"] >= stats["hop_purity"] - 0.1
+    assert stats["walk_size"] < stats["hop_size"] * 2.0

@@ -1,0 +1,49 @@
+"""Reproduce the paper's Fig. 6c objective ablation on one command.
+
+Trains the eight CoANE variants (WP, SG, WN, NS, SGNS, WF, WAP, full) on a
+Cora analog's link-prediction split and prints train/test AUC — the runnable
+version of `benchmarks/test_fig6c_objective_ablation.py` for interactive use.
+
+Run with:  python examples/ablation_study.py
+"""
+
+from repro.core import CoANE, CoANEConfig
+from repro.eval import link_prediction_auc, split_edges
+from repro.graph import load_dataset
+from repro.utils.tables import format_table
+
+VARIANTS = {
+    "WP   (no positive likelihood)": dict(positive_mode="off"),
+    "SG   (plain skip-gram positives)": dict(positive_mode="skipgram"),
+    "WN   (no negative sampling)": dict(negative_mode="off"),
+    "NS   (uniform negative sampling)": dict(negative_mode="uniform"),
+    "SGNS (SG + NS)": dict(positive_mode="skipgram", negative_mode="uniform"),
+    "WF   (no attribute input)": dict(use_attribute_input=False),
+    "WAP  (no attribute preservation)": dict(gamma=0.0),
+    "CoANE (complete)": dict(),
+}
+
+
+def main():
+    graph = load_dataset("cora", seed=0, scale=0.3)
+    print(f"Loaded {graph}")
+    split = split_edges(graph, seed=0)
+
+    rows = []
+    for name, overrides in VARIANTS.items():
+        config = CoANEConfig(num_walks=1, subsample_t=1e-5, gamma=1e4,
+                             epochs=30, seed=0, **overrides)
+        embeddings = CoANE(config).fit_transform(split.train_graph)
+        scores = link_prediction_auc(embeddings, split, phases=("train", "test"))
+        rows.append((name, scores["train"], scores["test"]))
+        print(f"  finished {name}")
+
+    print(format_table(["variant", "train AUC", "test AUC"], rows,
+                       title="Objective ablation (paper Fig. 6c)"))
+    print("\nReading the table: WP and WF should hurt the most; WAP should show\n"
+          "higher train AUC (overfitting without the attribute regulariser);\n"
+          "SGNS lands close to the complete model, as the paper reports.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Link prediction on a citation network: CoANE vs three strong baselines.
+
+Mirrors the paper's Table 4 (left) protocol: 70/10/20 edge split, embeddings
+trained on the incomplete training graph, Hadamard-feature logistic
+regression, AUC on the held-out edges.
+
+Run with:  python examples/citation_link_prediction.py
+"""
+
+from repro.baselines import GAE, VGAE, Node2Vec
+from repro.core import CoANE, CoANEConfig
+from repro.eval import link_prediction_auc, split_edges
+from repro.graph import load_dataset
+from repro.utils.tables import format_table
+
+
+def main():
+    graph = load_dataset("citeseer", seed=0, scale=0.4)
+    print(f"Loaded {graph}")
+    split = split_edges(graph, train_ratio=0.7, val_ratio=0.1, seed=0)
+    print(f"Edge split: {len(split.train_pos)} train / {len(split.val_pos)} val / "
+          f"{len(split.test_pos)} test positives")
+
+    methods = {
+        "coane": lambda g: CoANE(CoANEConfig(epochs=30, seed=0)).fit_transform(g),
+        "vgae": lambda g: VGAE(epochs=40, seed=0).fit_transform(g),
+        "gae": lambda g: GAE(epochs=40, seed=0).fit_transform(g),
+        "node2vec": lambda g: Node2Vec(num_walks=3, epochs=10, seed=0).fit_transform(g),
+    }
+
+    rows = []
+    for name, embed in methods.items():
+        embeddings = embed(split.train_graph)
+        scores = link_prediction_auc(embeddings, split, phases=("val", "test"))
+        rows.append((name, scores["val"], scores["test"]))
+
+    print(format_table(["method", "val AUC", "test AUC"], rows,
+                       title="Link prediction on the Citeseer analog"))
+
+
+if __name__ == "__main__":
+    main()

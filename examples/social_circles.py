@@ -1,0 +1,55 @@
+"""Latent social circles: CoANE on a social network with overlapping circles.
+
+The paper motivates CoANE with ego networks whose neighborhoods decompose
+into social circles ("CS dept", "family", "labmates") that share attributes.
+This example builds exactly that structure with the Flickr-analog generator,
+trains CoANE, and shows that (1) clustering the embeddings recovers the
+communities and (2) the convolution filters weight the centre's attributes
+together with its neighbors' (the Fig. 6b observation).
+
+Run with:  python examples/social_circles.py
+"""
+
+import numpy as np
+
+from repro.core import CoANE, CoANEConfig
+from repro.eval import evaluate_clustering, kmeans, normalized_mutual_information
+from repro.graph import social_circle_graph
+from repro.utils.tables import format_table
+
+
+def main():
+    graph = social_circle_graph(num_nodes=400, num_classes=5, num_attributes=300,
+                                avg_degree=14.0, circles_per_class=3, seed=0)
+    print(f"Built social-circle network: {graph}")
+
+    model = CoANE(CoANEConfig(embedding_dim=64, epochs=30, seed=0))
+    embeddings = model.fit_transform(graph)
+
+    # (1) The latent circles are recoverable from the embedding space.
+    nmi = evaluate_clustering(embeddings, graph.labels, num_repeats=3, seed=0)
+    print(f"k-means on CoANE embeddings recovers communities at NMI = {nmi:.3f}")
+
+    # Compare against clustering the raw attributes: the convolution over
+    # contexts should add structural information the attributes alone miss.
+    raw_assignment = kmeans(graph.attributes, graph.num_labels, seed=0)
+    raw_nmi = normalized_mutual_information(graph.labels, raw_assignment)
+    print(f"k-means on raw attributes only: NMI = {raw_nmi:.3f}")
+
+    # (2) Inspect the learned filters: centre-position attribute weights
+    # correlate with neighbor-position weights (shared-attribute detectors).
+    filters = model.model_.filters()              # (d', c, d)
+    c = filters.shape[1]
+    centre = filters[:, (c - 1) // 2, :]
+    neighbors = filters[:, [p for p in range(c) if p != (c - 1) // 2], :].mean(axis=1)
+    correlations = [np.corrcoef(fc, fn)[0, 1] for fc, fn in zip(centre, neighbors)]
+    rows = [
+        ["mean centre-neighbor weight correlation", float(np.mean(correlations))],
+        ["filters with positive correlation", f"{np.mean(np.array(correlations) > 0):.0%}"],
+    ]
+    print(format_table(["filter statistic", "value"], rows,
+                       title="What the convolution learned"))
+
+
+if __name__ == "__main__":
+    main()

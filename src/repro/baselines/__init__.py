@@ -1,0 +1,41 @@
+"""From-scratch reimplementations of the paper's 11 competing methods.
+
+Every baseline follows the estimator protocol of :class:`BaseEmbedder`
+(``fit`` / ``transform`` / ``fit_transform``) so the benchmark harness can
+treat CoANE and all competitors uniformly.  See each module's docstring for
+the original paper and any simplification made (simplifications are also
+catalogued in DESIGN.md).
+"""
+
+from repro.baselines.base import BaseEmbedder
+from repro.baselines.deepwalk import DeepWalk
+from repro.baselines.node2vec import Node2Vec
+from repro.baselines.line import LINE
+from repro.baselines.gae import GAE, VGAE
+from repro.baselines.arga import ARGA, ARVGA
+from repro.baselines.graphsage import GraphSAGE
+from repro.baselines.dane import DANE
+from repro.baselines.asne import ASNE
+from repro.baselines.stne import STNE
+from repro.baselines.anrl import ANRL
+from repro.baselines.spectral import SpectralEmbedding
+from repro.baselines.registry import all_methods, make_method
+
+__all__ = [
+    "BaseEmbedder",
+    "DeepWalk",
+    "Node2Vec",
+    "LINE",
+    "GAE",
+    "VGAE",
+    "ARGA",
+    "ARVGA",
+    "GraphSAGE",
+    "DANE",
+    "ASNE",
+    "STNE",
+    "ANRL",
+    "SpectralEmbedding",
+    "all_methods",
+    "make_method",
+]

@@ -1,0 +1,84 @@
+"""ANRL [Zhang et al., IJCAI 2018] — Attributed Network Representation
+Learning via the neighbor-enhancement autoencoder.
+
+An MLP encoder maps a node's attributes to its embedding; the decoder
+reconstructs the *aggregated attributes of the node's neighbors* (the
+neighbor-enhancement target, which smooths the autoencoder over the graph),
+and a skip-gram term over random-walk co-occurrences ties the embedding to
+the topology.  Both objectives are trained jointly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseEmbedder
+from repro.baselines.skipgram import walk_pairs
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.sparse import row_normalize
+from repro.nn import MLP, Adam, Parameter, Tensor
+from repro.nn.functional import mse_loss
+from repro.nn.init import xavier_uniform
+from repro.utils.rng import spawn_rngs
+from repro.walks.random_walk import RandomWalker
+
+
+class ANRL(BaseEmbedder):
+    def __init__(self, embedding_dim: int = 128, hidden_dim: int = 256,
+                 epochs: int = 50, learning_rate: float = 0.005,
+                 num_walks: int = 2, walk_length: int = 10, window: int = 3,
+                 num_negative: int = 5, pairs_per_epoch: int = 20000,
+                 skipgram_weight: float = 1.0, seed=None):
+        super().__init__(embedding_dim, seed)
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.num_negative = num_negative
+        self.pairs_per_epoch = pairs_per_epoch
+        self.skipgram_weight = skipgram_weight
+
+    def _fit(self, graph: AttributedGraph) -> np.ndarray:
+        init_rng, walk_rng, sample_rng = spawn_rngs(self.seed, 3)
+        n = graph.num_nodes
+        d = graph.num_attributes
+        encoder = MLP([d, self.hidden_dim, self.embedding_dim], seed=init_rng)
+        decoder = MLP([self.embedding_dim, self.hidden_dim, d], seed=init_rng)
+        context_table = Parameter(xavier_uniform((n, self.embedding_dim), seed=init_rng))
+        optimizer = Adam(encoder.parameters() + decoder.parameters() + [context_table],
+                         lr=self.learning_rate)
+
+        # Neighbor-enhancement target: mean of the neighbors' attributes
+        # (including the node itself, so isolated nodes reconstruct themselves).
+        import scipy.sparse as sp
+        with_self = graph.adjacency + sp.eye(n, format="csr")
+        target = row_normalize(with_self) @ graph.attributes
+
+        walker = RandomWalker(graph, seed=walk_rng)
+        walks = walker.walk(self.walk_length, num_walks=self.num_walks)
+        centers, contexts = walk_pairs(walks, self.window)
+        degrees = np.maximum(graph.degrees(), 1.0) ** 0.75
+        noise = degrees / degrees.sum()
+        attributes = Tensor(graph.attributes)
+
+        self.history_ = []
+        for _ in range(self.epochs):
+            z = encoder(attributes)
+            loss = mse_loss(decoder(z), target)
+            if len(centers) and self.skipgram_weight > 0:
+                take = min(self.pairs_per_epoch, len(centers))
+                chosen = sample_rng.choice(len(centers), size=take, replace=False)
+                u, v = centers[chosen], contexts[chosen]
+                positive = (z[u] * context_table[v]).sum(axis=1)
+                negatives = sample_rng.choice(n, size=take * self.num_negative, p=noise)
+                repeated = np.repeat(u, self.num_negative)
+                negative = (z[repeated] * context_table[negatives]).sum(axis=1)
+                skipgram = -(positive.log_sigmoid().mean() + (-negative).log_sigmoid().mean())
+                loss = loss + skipgram * self.skipgram_weight
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            self.history_.append(loss.item())
+        return encoder(attributes).data

@@ -1,0 +1,89 @@
+"""ARGA and ARVGA [Pan et al., IJCAI 2018].
+
+Adversarially regularised (variational) graph auto-encoders: a GAE/VGAE
+generator plus an MLP discriminator (128-512 hidden, the paper's setting)
+that pushes the embedding distribution toward a standard Gaussian prior.
+Each epoch alternates a discriminator update (real prior samples vs detached
+embeddings) with a generator update (reconstruction + fooling loss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.gae import GAE, VGAE
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.sparse import gcn_normalize
+from repro.nn import MLP, Adam, Tensor
+from repro.nn.functional import binary_cross_entropy_with_logits
+from repro.utils.rng import spawn_rngs
+
+
+class ARGA(GAE):
+    """Adversarially regularised GAE."""
+
+    def __init__(self, embedding_dim: int = 128, hidden_dim: int = 256,
+                 discriminator_hidden: int = 512, adversarial_weight: float = 1.0,
+                 epochs: int = 80, learning_rate: float = 0.01, seed=None):
+        super().__init__(embedding_dim, hidden_dim, epochs, learning_rate, seed)
+        self.discriminator_hidden = discriminator_hidden
+        self.adversarial_weight = adversarial_weight
+
+    def _fit(self, graph: AttributedGraph) -> np.ndarray:
+        init_rng, noise_rng, prior_rng = spawn_rngs(self.seed, 3)
+        adj_norm = gcn_normalize(graph.adjacency)
+        features = self._features(graph)
+        encoder_parameters = self._build_encoder(graph.num_attributes, init_rng)
+        discriminator = MLP(
+            [self.embedding_dim, self.discriminator_hidden, self.discriminator_hidden, 1],
+            activation="relu", seed=init_rng,
+        )
+        encoder_optimizer = Adam(encoder_parameters, lr=self.learning_rate)
+        discriminator_optimizer = Adam(discriminator.parameters(), lr=self.learning_rate)
+
+        n = graph.num_nodes
+        target = np.asarray(graph.adjacency.todense())
+        np.fill_diagonal(target, 1.0)
+        num_positive = target.sum()
+        pos_weight = (n * n - num_positive) / max(num_positive, 1.0)
+        weight = np.where(target > 0, pos_weight, 1.0)
+        ones = np.ones((n, 1))
+        zeros = np.zeros((n, 1))
+
+        self.history_ = []
+        for _ in range(self.epochs):
+            # --- discriminator step: real prior vs current embeddings ---
+            embeddings, _ = self._encode(adj_norm, features, noise_rng)
+            fake = Tensor(embeddings.data)  # detached
+            real = Tensor(prior_rng.normal(size=(n, self.embedding_dim)))
+            d_loss = (binary_cross_entropy_with_logits(discriminator(real), ones)
+                      + binary_cross_entropy_with_logits(discriminator(fake), zeros))
+            discriminator_optimizer.zero_grad()
+            d_loss.backward()
+            discriminator_optimizer.step()
+
+            # --- generator step: reconstruction + fool the discriminator ---
+            embeddings, auxiliary = self._encode(adj_norm, features, noise_rng)
+            logits = embeddings @ embeddings.T
+            loss = binary_cross_entropy_with_logits(logits, target, weight=weight)
+            regulariser = self._regulariser(auxiliary, n)
+            if regulariser is not None:
+                loss = loss + regulariser
+            generator_loss = binary_cross_entropy_with_logits(discriminator(embeddings), ones)
+            loss = loss + generator_loss * self.adversarial_weight
+            encoder_optimizer.zero_grad()
+            loss.backward()
+            encoder_optimizer.step()
+            self.history_.append(loss.item())
+
+        final, _ = self._encode(adj_norm, features, None)
+        return final.data
+
+
+class ARVGA(ARGA, VGAE):
+    """Adversarially regularised VGAE (variational encoder + discriminator).
+
+    Inherits the adversarial training loop from :class:`ARGA` and the
+    variational encoder from :class:`VGAE` (Python MRO resolves ``_encode`` /
+    ``_build_encoder`` / ``_regulariser`` to the VGAE versions).
+    """

@@ -1,0 +1,40 @@
+"""Common estimator protocol for all embedding methods."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph
+
+
+class BaseEmbedder:
+    """Base class: subclasses implement ``_fit(graph) -> (n, d') array``."""
+
+    def __init__(self, embedding_dim: int = 128, seed=None):
+        if embedding_dim < 1:
+            raise ValueError("embedding_dim must be positive")
+        self.embedding_dim = embedding_dim
+        self.seed = seed
+        self.embeddings_ = None
+
+    def fit(self, graph: AttributedGraph) -> "BaseEmbedder":
+        embeddings = self._fit(graph)
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.shape != (graph.num_nodes, self.embedding_dim):
+            raise RuntimeError(
+                f"{type(self).__name__} produced shape {embeddings.shape}, "
+                f"expected {(graph.num_nodes, self.embedding_dim)}"
+            )
+        self.embeddings_ = embeddings
+        return self
+
+    def transform(self) -> np.ndarray:
+        if self.embeddings_ is None:
+            raise RuntimeError("call fit() before transform()")
+        return self.embeddings_
+
+    def fit_transform(self, graph: AttributedGraph) -> np.ndarray:
+        return self.fit(graph).transform()
+
+    def _fit(self, graph: AttributedGraph) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,85 @@
+"""DANE [Gao & Huang, IJCAI 2018] — Deep Attributed Network Embedding.
+
+Two deep autoencoders — one over the high-order structure matrix ``M``
+(row-normalised ``A + A²``, a truncated random-walk proximity), one over the
+attributes ``X`` — tied together by (1) first-order proximity terms that pull
+connected nodes together in both embedding spaces and (2) a consistency term
+that maximises the likelihood of the two modalities agreeing on each node.
+The final embedding is the concatenation of the two 64-d codes (the paper's
+128-64 layer setting).  Pre-training is excluded, as in the paper's
+evaluation protocol (their footnote 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseEmbedder
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.sparse import row_normalize
+from repro.nn import MLP, Adam, Tensor
+from repro.nn.functional import mse_loss
+from repro.utils.rng import spawn_rngs
+
+
+class DANE(BaseEmbedder):
+    def __init__(self, embedding_dim: int = 128, hidden_dim: int = 128,
+                 epochs: int = 60, learning_rate: float = 0.005,
+                 proximity_weight: float = 1.0, consistency_weight: float = 1.0,
+                 seed=None):
+        if embedding_dim % 2 != 0:
+            raise ValueError("embedding_dim must be even (two concatenated codes)")
+        super().__init__(embedding_dim, seed)
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.proximity_weight = proximity_weight
+        self.consistency_weight = consistency_weight
+
+    def _fit(self, graph: AttributedGraph) -> np.ndarray:
+        init_rng, = spawn_rngs(self.seed, 1)
+        n = graph.num_nodes
+        half = self.embedding_dim // 2
+
+        # High-order structural input M = rownorm(A) + rownorm(A)^2.
+        transition = row_normalize(graph.adjacency)
+        proximity = (transition + transition @ transition).todense()
+        structure_input = np.asarray(proximity)
+        attribute_input = graph.attributes
+
+        structure_encoder = MLP([n, self.hidden_dim, half], seed=init_rng)
+        structure_decoder = MLP([half, self.hidden_dim, n], seed=init_rng)
+        attribute_encoder = MLP([attribute_input.shape[1], self.hidden_dim, half], seed=init_rng)
+        attribute_decoder = MLP([half, self.hidden_dim, attribute_input.shape[1]], seed=init_rng)
+        parameters = (structure_encoder.parameters() + structure_decoder.parameters()
+                      + attribute_encoder.parameters() + attribute_decoder.parameters())
+        optimizer = Adam(parameters, lr=self.learning_rate)
+
+        edges = graph.edge_list()
+        structure_tensor = Tensor(structure_input)
+        attribute_tensor = Tensor(attribute_input)
+
+        self.history_ = []
+        for _ in range(self.epochs):
+            h_structure = structure_encoder(structure_tensor)
+            h_attribute = attribute_encoder(attribute_tensor)
+            loss = mse_loss(structure_decoder(h_structure), structure_input)
+            loss = loss + mse_loss(attribute_decoder(h_attribute), attribute_input)
+            if len(edges) and self.proximity_weight > 0:
+                u, v = edges[:, 0], edges[:, 1]
+                proximity_loss = -(
+                    (h_structure[u] * h_structure[v]).sum(axis=1).log_sigmoid().mean()
+                    + (h_attribute[u] * h_attribute[v]).sum(axis=1).log_sigmoid().mean()
+                )
+                loss = loss + proximity_loss * self.proximity_weight
+            if self.consistency_weight > 0:
+                consistency = -(h_structure * h_attribute).sum(axis=1).log_sigmoid().mean()
+                loss = loss + consistency * self.consistency_weight
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            self.history_.append(loss.item())
+
+        h_structure = structure_encoder(structure_tensor)
+        h_attribute = attribute_encoder(attribute_tensor)
+        return np.hstack([h_structure.data, h_attribute.data])

@@ -1,0 +1,84 @@
+"""GraphSAGE [Hamilton et al., NeurIPS 2017] — unsupervised, mean aggregator.
+
+Two mean-aggregation layers (``h' = relu([h, mean_neighbors(h)] W)`` with
+row normalisation), trained with the unsupervised random-walk objective:
+co-occurring nodes score high, negative samples score low.  Full-batch
+aggregation is exact and fast at this scale, so no neighbor sampling is
+needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.base import BaseEmbedder
+from repro.baselines.skipgram import walk_pairs
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.sparse import row_normalize
+from repro.nn import Adam, Linear, Tensor, concat, sparse_matmul
+from repro.utils.rng import spawn_rngs
+from repro.walks.random_walk import RandomWalker
+
+
+class GraphSAGE(BaseEmbedder):
+    def __init__(self, embedding_dim: int = 128, hidden_dim: int = 128,
+                 epochs: int = 40, learning_rate: float = 0.01,
+                 num_walks: int = 2, walk_length: int = 10, window: int = 3,
+                 num_negative: int = 5, pairs_per_epoch: int = 20000, seed=None):
+        super().__init__(embedding_dim, seed)
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.num_negative = num_negative
+        self.pairs_per_epoch = pairs_per_epoch
+
+    @staticmethod
+    def _aggregate(adj_mean, h: Tensor) -> Tensor:
+        neighbor_mean = sparse_matmul(adj_mean, h) if sp.issparse(adj_mean) else adj_mean @ h
+        return concat([h, neighbor_mean], axis=1)
+
+    def _fit(self, graph: AttributedGraph) -> np.ndarray:
+        init_rng, walk_rng, sample_rng = spawn_rngs(self.seed, 3)
+        n = graph.num_nodes
+        adj_mean = row_normalize(graph.adjacency)
+        features = graph.attributes
+        d = features.shape[1]
+        layer1 = Linear(2 * d, self.hidden_dim, bias=False, seed=init_rng)
+        layer2 = Linear(2 * self.hidden_dim, self.embedding_dim, bias=False, seed=init_rng)
+        optimizer = Adam(layer1.parameters() + layer2.parameters(), lr=self.learning_rate)
+
+        # The input layer is constant, so precompute [X, mean_nbr(X)] once.
+        neighbor_features = adj_mean @ features
+        input_block = np.hstack([features, neighbor_features])
+
+        walker = RandomWalker(graph, seed=walk_rng)
+        walks = walker.walk(self.walk_length, num_walks=self.num_walks)
+        centers, contexts = walk_pairs(walks, self.window)
+        degrees = np.maximum(graph.degrees(), 1.0) ** 0.75
+        noise = degrees / degrees.sum()
+
+        def encode() -> Tensor:
+            h1 = (Tensor(input_block) @ layer1.weight).relu()
+            h2 = self._aggregate(adj_mean, h1)
+            return h2 @ layer2.weight
+
+        self.history_ = []
+        for _ in range(self.epochs):
+            z = encode()
+            take = min(self.pairs_per_epoch, len(centers))
+            chosen = sample_rng.choice(len(centers), size=take, replace=False)
+            u, v = centers[chosen], contexts[chosen]
+            positive = (z[u] * z[v]).sum(axis=1)
+            negatives = sample_rng.choice(n, size=take * self.num_negative, p=noise)
+            u_repeated = np.repeat(u, self.num_negative)
+            negative = (z[u_repeated] * z[negatives]).sum(axis=1)
+            loss = -(positive.log_sigmoid().mean() + (-negative).log_sigmoid().mean())
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            self.history_.append(loss.item())
+        return encode().data

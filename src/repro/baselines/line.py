@@ -1,0 +1,44 @@
+"""LINE [Tang et al., WWW 2015] — second-order proximity variant.
+
+Edges are the training pairs; each vertex has a vertex vector and a context
+vector, trained with negative sampling so that neighbors of a node predict
+similar contexts (second-order proximity, the variant the paper compares
+against).  Structure-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseEmbedder
+from repro.baselines.skipgram import SkipGramTrainer
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.rng import spawn_rngs
+
+
+class LINE(BaseEmbedder):
+    def __init__(self, embedding_dim: int = 128, num_samples_per_edge: int = 10,
+                 num_negative: int = 5, epochs: int = 20,
+                 learning_rate: float = 0.05, seed=None):
+        super().__init__(embedding_dim, seed)
+        self.num_samples_per_edge = num_samples_per_edge
+        self.num_negative = num_negative
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+
+    def _fit(self, graph: AttributedGraph) -> np.ndarray:
+        sample_rng, train_rng = spawn_rngs(self.seed, 2)
+        edges = graph.edge_list()
+        if len(edges) == 0:
+            raise ValueError("LINE requires at least one edge")
+        # Both directions of every undirected edge are training pairs.
+        directed = np.vstack([edges, edges[:, ::-1]])
+        repeats = max(1, self.num_samples_per_edge)
+        order = sample_rng.permutation(np.tile(np.arange(len(directed)), repeats))
+        centers = directed[order, 0]
+        contexts = directed[order, 1]
+        trainer = SkipGramTrainer(graph.num_nodes, self.embedding_dim,
+                                  num_negative=self.num_negative,
+                                  learning_rate=self.learning_rate, seed=train_rng)
+        trainer.train(centers, contexts, epochs=self.epochs)
+        return trainer.embeddings()

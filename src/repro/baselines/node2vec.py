@@ -1,0 +1,44 @@
+"""node2vec [Grover & Leskovec, KDD 2016].
+
+Second-order biased walks (return parameter ``p``, in-out parameter ``q``)
++ skip-gram with negative sampling.  The paper benchmarks it with
+``p = q = 1`` (Sec. 4.1), where the walk reduces to DeepWalk's; the bias
+machinery is still exercised by the unit tests and available for sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseEmbedder
+from repro.baselines.skipgram import SkipGramTrainer, walk_pairs
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.rng import spawn_rngs
+from repro.walks.random_walk import Node2VecWalker
+
+
+class Node2Vec(BaseEmbedder):
+    def __init__(self, embedding_dim: int = 128, p: float = 1.0, q: float = 1.0,
+                 num_walks: int = 10, walk_length: int = 40, window: int = 5,
+                 num_negative: int = 5, epochs: int = 15,
+                 learning_rate: float = 0.05, seed=None):
+        super().__init__(embedding_dim, seed)
+        self.p = p
+        self.q = q
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.num_negative = num_negative
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+
+    def _fit(self, graph: AttributedGraph) -> np.ndarray:
+        walk_rng, train_rng = spawn_rngs(self.seed, 2)
+        walker = Node2VecWalker(graph, p=self.p, q=self.q, seed=walk_rng)
+        walks = walker.walk(self.walk_length, num_walks=self.num_walks)
+        centers, contexts = walk_pairs(walks, self.window)
+        trainer = SkipGramTrainer(graph.num_nodes, self.embedding_dim,
+                                  num_negative=self.num_negative,
+                                  learning_rate=self.learning_rate, seed=train_rng)
+        trainer.train(centers, contexts, epochs=self.epochs)
+        return trainer.embeddings()

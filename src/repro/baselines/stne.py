@@ -1,0 +1,121 @@
+"""STNE [Liu et al., KDD 2018] — Self-Translation Network Embedding.
+
+STNE treats each random-walk sequence as a "sentence" of attribute vectors
+and trains a seq2seq model to translate content back into the node-identity
+sequence.  **Substitution:** the original uses an LSTM encoder/decoder; this
+environment has no deep-learning framework and an LSTM's recurrence is not
+load-bearing for the comparison (the signal is content-to-node translation
+over walk windows), so the encoder here is a learned *positional weighting*
+of the window members' encoded attributes, and the decoder predicts every
+member node of the window from the window code via an output table with
+negative sampling.  A node's embedding is the mean of the codes of the
+windows it centres — mirroring how STNE averages the hidden states a node
+receives across sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.base import BaseEmbedder
+from repro.graph.attributed_graph import AttributedGraph
+from repro.nn import Adam, Linear, Parameter, Tensor, segment_mean, sparse_matmul
+from repro.nn.init import xavier_uniform
+from repro.utils.rng import spawn_rngs
+from repro.walks.contexts import PAD, ContextSet, extract_contexts
+from repro.walks.random_walk import RandomWalker
+
+
+class STNE(BaseEmbedder):
+    def __init__(self, embedding_dim: int = 128, num_walks: int = 2,
+                 walk_length: int = 20, context_size: int = 5,
+                 epochs: int = 40, learning_rate: float = 0.01,
+                 num_negative: int = 5, max_windows_per_node: int = 6, seed=None):
+        super().__init__(embedding_dim, seed)
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.context_size = context_size
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.num_negative = num_negative
+        self.max_windows_per_node = max_windows_per_node
+
+    def _cap_windows(self, context_set: ContextSet, rng) -> ContextSet:
+        """Keep at most ``max_windows_per_node`` windows per midst node (STNE
+        consumes whole sequences; capping bounds memory without changing the
+        objective's shape)."""
+        keep = []
+        counts = {}
+        order = rng.permutation(context_set.num_contexts)
+        for index in order:
+            node = int(context_set.midst[index])
+            if counts.get(node, 0) < self.max_windows_per_node:
+                counts[node] = counts.get(node, 0) + 1
+                keep.append(index)
+        keep = np.sort(np.asarray(keep, dtype=np.int64))
+        return ContextSet(context_set.windows[keep], context_set.midst[keep],
+                          context_set.num_nodes)
+
+    def _fit(self, graph: AttributedGraph) -> np.ndarray:
+        walk_rng, context_rng, init_rng, sample_rng = spawn_rngs(self.seed, 4)
+        n = graph.num_nodes
+        d = graph.num_attributes
+        walker = RandomWalker(graph, seed=walk_rng)
+        walks = walker.walk(self.walk_length, num_walks=self.num_walks)
+        # t=1 disables subsampling: STNE consumes whole sequences.
+        context_set = extract_contexts(walks, self.context_size, n,
+                                       subsample_t=1.0, seed=context_rng)
+        context_set = self._cap_windows(context_set, context_rng)
+        windows = context_set.windows
+        num_windows = len(windows)
+
+        # Per-position sparse attribute blocks (PAD rows are zero).
+        table = sp.vstack([sp.csr_matrix(graph.attributes), sp.csr_matrix((1, d))]).tocsr()
+        position_blocks = [
+            table[np.where(windows[:, p] == PAD, n, windows[:, p])]
+            for p in range(self.context_size)
+        ]
+
+        position_logits = Parameter(np.zeros(self.context_size))
+        encoder = Linear(d, self.embedding_dim, bias=False, seed=init_rng)
+        output_table = Parameter(xavier_uniform((n, self.embedding_dim), seed=init_rng))
+        optimizer = Adam([position_logits, output_table] + encoder.parameters(),
+                         lr=self.learning_rate)
+
+        # Decoder targets: every non-pad member of every window.
+        flat_members = windows.ravel()
+        member_window = np.repeat(np.arange(num_windows), self.context_size)
+        valid = flat_members != PAD
+        flat_members = flat_members[valid]
+        member_window = member_window[valid]
+        degrees = np.maximum(graph.degrees(), 1.0) ** 0.75
+        noise = degrees / degrees.sum()
+
+        def encode_windows() -> Tensor:
+            # The encoder is linear, so the positional weighting commutes with
+            # it: encode each position's block once, then blend.
+            weights = position_logits.exp()
+            normaliser = weights.sum()
+            code = None
+            for position, block in enumerate(position_blocks):
+                encoded = sparse_matmul(block, encoder.weight)
+                term = encoded * (weights[position] / normaliser)
+                code = term if code is None else code + term
+            return code.tanh()
+
+        self.history_ = []
+        for _ in range(self.epochs):
+            codes = encode_windows()
+            positive = (codes[member_window] * output_table[flat_members]).sum(axis=1)
+            negatives = sample_rng.choice(n, size=len(flat_members) * self.num_negative, p=noise)
+            repeated = np.repeat(member_window, self.num_negative)
+            negative = (codes[repeated] * output_table[negatives]).sum(axis=1)
+            loss = -(positive.log_sigmoid().mean() + (-negative).log_sigmoid().mean())
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            self.history_.append(loss.item())
+
+        codes = encode_windows()
+        return segment_mean(codes, context_set.midst, n).data

@@ -1,0 +1,95 @@
+"""Command-line interface: train a method on a dataset and report one task.
+
+Examples::
+
+    python -m repro --dataset cora --method coane --task clustering
+    python -m repro --dataset webkb-cornell --method vgae --task classification
+    python -m repro --dataset citeseer --method coane --task linkpred --scale 0.5
+    python -m repro --linqs-dir /data/cora --linqs-name cora --method coane
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import all_methods, make_method
+from repro.eval import (
+    evaluate_classification,
+    evaluate_clustering,
+    link_prediction_auc,
+    split_edges,
+)
+from repro.graph import dataset_names, load_dataset, read_linqs
+from repro.utils.tables import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoANE reproduction: train an embedding method and evaluate it.",
+    )
+    source = parser.add_argument_group("data source")
+    source.add_argument("--dataset", choices=dataset_names(),
+                        help="synthetic analog of a paper dataset")
+    source.add_argument("--scale", type=float, default=1.0,
+                        help="node-count multiplier for the analog (default 1.0)")
+    source.add_argument("--linqs-dir", help="directory with <name>.content/<name>.cites")
+    source.add_argument("--linqs-name", help="basename of the LINQS files")
+    parser.add_argument("--method", default="coane", choices=all_methods(),
+                        help="embedding method (default coane)")
+    parser.add_argument("--task", default="clustering",
+                        choices=["classification", "clustering", "linkpred"],
+                        help="evaluation task (default clustering)")
+    parser.add_argument("--dim", type=int, default=128, help="embedding dimension")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--budget", default="bench", choices=["bench", "full"],
+                        help="training budget preset")
+    return parser
+
+
+def load_graph(args):
+    if args.linqs_dir:
+        if not args.linqs_name:
+            raise SystemExit("--linqs-name is required with --linqs-dir")
+        return read_linqs(args.linqs_dir, args.linqs_name)
+    if not args.dataset:
+        raise SystemExit("either --dataset or --linqs-dir is required")
+    return load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+
+
+def run(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    graph = load_graph(args)
+    print(f"Loaded {graph}")
+
+    def make():
+        return make_method(args.method, embedding_dim=args.dim,
+                           seed=args.seed, budget=args.budget)
+
+    if args.task == "linkpred":
+        split = split_edges(graph, seed=args.seed)
+        embeddings = make().fit_transform(split.train_graph)
+        scores = link_prediction_auc(embeddings, split, phases=("val", "test"))
+        print(format_table(["phase", "AUC"], sorted(scores.items()),
+                           title=f"{args.method} link prediction"))
+        return 0
+
+    embeddings = make().fit_transform(graph)
+    if graph.labels is None:
+        raise SystemExit("this graph has no labels; only linkpred is available")
+    if args.task == "classification":
+        results = evaluate_classification(embeddings, graph.labels, seed=args.seed)
+        rows = [[f"{int(ratio*100)}%", scores["macro"], scores["micro"]]
+                for ratio, scores in sorted(results.items())]
+        print(format_table(["train ratio", "Macro-F1", "Micro-F1"], rows,
+                           title=f"{args.method} node classification"))
+    else:
+        nmi = evaluate_clustering(embeddings, graph.labels, seed=args.seed)
+        print(format_table(["metric", "value"], [["NMI", nmi]],
+                           title=f"{args.method} node clustering"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(run())

@@ -1,0 +1,20 @@
+"""CoANE — the paper's primary contribution.
+
+Pipeline (paper Fig. 1): random-walk contexts → attribute-context matrices →
+non-overlapping 1-D convolution + average pooling → embeddings trained with
+the three-way objective (positive graph likelihood, contextually negative
+sampling, attribute preservation).
+"""
+
+from repro.core.config import CoANEConfig
+from repro.core.model import CoANEModel
+from repro.core.negative_sampling import ContextualNegativeSampler, UniformNegativeSampler
+from repro.core.trainer import CoANE
+
+__all__ = [
+    "CoANE",
+    "CoANEConfig",
+    "CoANEModel",
+    "ContextualNegativeSampler",
+    "UniformNegativeSampler",
+]

@@ -1,0 +1,62 @@
+"""The three terms of CoANE's objective (paper Sec. 3.3).
+
+All terms are normalised by the number of target nodes in the batch so that
+their relative scale is independent of graph size; the paper's raw sums are
+recovered by multiplying by the batch size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+from repro.nn.functional import mse_loss
+
+
+def positive_graph_likelihood(left: Tensor, right: Tensor, rows: np.ndarray,
+                              cols: np.ndarray, weights: np.ndarray,
+                              num_targets: int) -> Tensor:
+    """Eq. (2): ``-Σ D̃_ij log σ(L_i · R_j)`` over the top-``k_p`` pairs."""
+    if len(rows) == 0:
+        return Tensor(np.zeros(()), requires_grad=False)
+    scores = (left[rows] * right[cols]).sum(axis=1)
+    weighted = Tensor(np.asarray(weights, dtype=np.float64)) * scores.log_sigmoid()
+    return -(weighted.sum() / max(num_targets, 1))
+
+
+def skipgram_positive(left: Tensor, right: Tensor, rows: np.ndarray,
+                      cols: np.ndarray, num_targets: int) -> Tensor:
+    """Fig. 6c ``SG`` ablation: plain skip-gram positives — unweighted
+    ``-log σ(L_i · R_j)`` over midst/neighbor pairs, no ``D̃`` weighting and
+    no top-``k_p`` truncation semantics."""
+    if len(rows) == 0:
+        return Tensor(np.zeros(()), requires_grad=False)
+    scores = (left[rows] * right[cols]).sum(axis=1)
+    return -(scores.log_sigmoid().sum() / max(num_targets, 1))
+
+
+def contextual_negative_loss(embeddings: Tensor, targets: np.ndarray,
+                             negatives: np.ndarray, strength: float,
+                             num_targets: int) -> Tensor:
+    """Eq. (3): ``a · Σ_i Σ_{j~P_V*} (z_i^T z_j)^2``.
+
+    ``negatives`` has shape ``(len(targets), k)``; the squared inner product
+    pushes sampled dissimilar nodes toward orthogonality rather than merely
+    away, following AllVec.  Eq. (3) is an expectation over the noise
+    distribution, so the ``k`` sampled terms are averaged, not summed.
+    """
+    if negatives.size == 0 or strength == 0.0:
+        return Tensor(np.zeros(()), requires_grad=False)
+    k = negatives.shape[1]
+    rows = np.repeat(np.asarray(targets, dtype=np.int64), k)
+    cols = np.asarray(negatives, dtype=np.int64).ravel()
+    scores = (embeddings[rows] * embeddings[cols]).sum(axis=1)
+    return (scores * scores).sum() * (strength / (max(num_targets, 1) * k))
+
+
+def attribute_preservation_loss(reconstruction: Tensor, attributes: np.ndarray,
+                                gamma: float) -> Tensor:
+    """Eq. (4): ``γ · MSE(X̂, X)``."""
+    if gamma == 0.0:
+        return Tensor(np.zeros(()), requires_grad=False)
+    return mse_loss(reconstruction, attributes) * gamma

@@ -1,0 +1,117 @@
+"""The CoANE network: context convolution, pooling, attribute decoder.
+
+The embedding of node ``v`` is the average over its contexts of the
+``d'``-dimensional feature each context gets from the non-overlapping 1-D
+convolution (paper Sec. 3.2).  The embedding matrix is interpreted as
+``Z = [L | R]`` — left and right halves used asymmetrically by the positive
+graph likelihood (Sec. 3.3.1) — and feeds a two-hidden-layer ReLU MLP that
+reconstructs the node attributes (Sec. 3.3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import MLP, ContextConv1d, Linear, Module, Tensor, segment_mean, sparse_matmul
+
+
+class _FullyConnectedExtractor(Module):
+    """Position-agnostic context extractor used by the Fig. 6a ablation.
+
+    Every node in a context is mapped through the *same* ``d -> d'`` linear
+    layer and the results are summed, discarding positional information —
+    the "FC layer" variant the paper compares the convolution against.
+    """
+
+    def __init__(self, context_size: int, in_channels: int, out_channels: int, seed=None):
+        self.context_size = context_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.linear = Linear(in_channels, out_channels, bias=False, seed=seed)
+
+    def forward(self, contexts) -> Tensor:
+        import scipy.sparse as sp
+
+        c, d = self.context_size, self.in_channels
+        if sp.issparse(contexts):
+            # Sum the c positional blocks: (num, c*d) -> (num, d).
+            summed = contexts[:, :d]
+            for position in range(1, c):
+                summed = summed + contexts[:, position * d:(position + 1) * d]
+            return sparse_matmul(summed.tocsr(), self.linear.weight)
+        data = np.asarray(contexts.data if isinstance(contexts, Tensor) else contexts)
+        summed = data.reshape(len(data), c, d).sum(axis=1)
+        return Tensor(summed) @ self.linear.weight
+
+    def filters(self) -> np.ndarray:
+        """Shared weights broadcast to every position, for Fig. 6b parity."""
+        shared = self.linear.weight.data.T  # (d', d)
+        return np.repeat(shared[:, None, :], self.context_size, axis=1)
+
+
+class CoANEModel(Module):
+    """Trainable CoANE network.
+
+    Parameters
+    ----------
+    num_attributes:
+        Input attribute dimension ``d``.
+    embedding_dim:
+        Output embedding dimension ``d'`` (even; ``Z = [L | R]``).
+    context_size:
+        Context window width ``c``.
+    decoder_hidden:
+        Hidden width of the attribute-reconstruction MLP.
+    extractor:
+        ``'conv'`` (paper) or ``'fc'`` (Fig. 6a ablation).
+    """
+
+    def __init__(self, num_attributes: int, embedding_dim: int, context_size: int,
+                 decoder_hidden: int = 256, extractor: str = "conv", seed=None):
+        if embedding_dim % 2 != 0:
+            raise ValueError("embedding_dim must be even (Z = [L|R])")
+        self.num_attributes = num_attributes
+        self.embedding_dim = embedding_dim
+        self.context_size = context_size
+        if extractor == "conv":
+            self.encoder = ContextConv1d(context_size, num_attributes, embedding_dim, seed=seed)
+        elif extractor == "fc":
+            self.encoder = _FullyConnectedExtractor(context_size, num_attributes, embedding_dim, seed=seed)
+        else:
+            raise ValueError("extractor must be 'conv' or 'fc'")
+        self.decoder = MLP(
+            [embedding_dim, decoder_hidden, decoder_hidden, num_attributes],
+            activation="relu",
+            seed=seed,
+        )
+
+    def embed(self, contexts, segment_ids: np.ndarray, num_nodes: int) -> Tensor:
+        """Encode flattened contexts and pool them into node embeddings.
+
+        ``contexts`` is the ``(num_contexts, c*d)`` attribute-context matrix
+        (dense or scipy sparse); ``segment_ids`` assigns each context row to
+        its midst node.  Nodes with no contexts get a zero embedding.
+        """
+        features = self.encoder(contexts)
+        return segment_mean(features, segment_ids, num_nodes)
+
+    @staticmethod
+    def split_lr(embeddings: Tensor) -> tuple:
+        """Split ``Z`` into the left and right halves used by the graph
+        likelihood.  Implemented with constant selection matrices so both
+        halves stay differentiable."""
+        d = embeddings.shape[1]
+        half = d // 2
+        left_selector = np.zeros((d, half))
+        left_selector[np.arange(half), np.arange(half)] = 1.0
+        right_selector = np.zeros((d, half))
+        right_selector[half + np.arange(half), np.arange(half)] = 1.0
+        return embeddings @ Tensor(left_selector), embeddings @ Tensor(right_selector)
+
+    def reconstruct(self, embeddings: Tensor) -> Tensor:
+        """Decode attributes from embeddings (Sec. 3.3.3)."""
+        return self.decoder(embeddings)
+
+    def filters(self) -> np.ndarray:
+        """Filter bank ``(d', c, d)`` for the Fig. 6b weight analysis."""
+        return self.encoder.filters()

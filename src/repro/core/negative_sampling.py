@@ -1,0 +1,169 @@
+"""Negative samplers for CoANE (paper Sec. 3.3.2).
+
+Contextually negative sampling draws negatives from the *contextual noise
+distribution* ``P_V(v) ∝ |context(v)|`` restricted to nodes outside the
+target's context set ``V*(v)``: nodes that dominate many contexts but never
+co-occur with the target are the most informative repellents.  Two strategies
+amortise the cost:
+
+* **pre-sampling** — one offline pool drawn from ``P_V`` before training; each
+  query takes the first ``k`` pool entries outside the target's context
+  (used for the denser graphs),
+* **batch-sampling** — negatives drawn only from the current training batch,
+  re-weighted by ``P_V`` (used for the sparse graphs).
+
+:class:`UniformNegativeSampler` implements the plain word2vec-style sampler
+for the Fig. 6c ``NS`` ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.rng import ensure_rng
+
+
+def _context_membership(D: sp.csr_matrix, adjacency: sp.csr_matrix = None) -> sp.csr_matrix:
+    """Boolean CSR marking ``j ∈ context(i)`` (plus the diagonal: a node is
+    never its own negative).
+
+    When ``adjacency`` is given, direct graph neighbors are excluded as well:
+    with finitely many walks a true neighbor can be absent from the sampled
+    contexts by chance, and actively repelling an actual edge would corrupt
+    the structural signal the positive likelihood is preserving.
+    """
+    mask = D.copy()
+    mask.data = np.ones_like(mask.data)
+    mask = mask + sp.eye(D.shape[0], format="csr")
+    if adjacency is not None:
+        neighbor_mask = adjacency.copy()
+        neighbor_mask.data = np.ones_like(neighbor_mask.data)
+        mask = mask + neighbor_mask
+    mask.data = np.minimum(mask.data, 1.0)
+    return mask.tocsr()
+
+
+class _ExclusionIndex:
+    """Fast ``j in context(i)`` tests against a CSR membership matrix."""
+
+    def __init__(self, membership: sp.csr_matrix):
+        self._indptr = membership.indptr
+        self._indices = membership.indices
+
+    def excluded(self, rows: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """Element-wise test: is ``candidates[i, j]`` excluded for ``rows[i]``?"""
+        out = np.zeros(candidates.shape, dtype=bool)
+        for i, row in enumerate(rows):
+            members = self._indices[self._indptr[row]:self._indptr[row + 1]]
+            if len(members):
+                out[i] = np.isin(candidates[i], members)
+        return out
+
+
+def _select_first_valid(candidates: np.ndarray, invalid: np.ndarray, k: int, rng,
+                        num_nodes: int, rows, exclusion) -> np.ndarray:
+    """Take the first ``k`` valid candidates per row, resampling any shortfall
+    uniformly from the full complement (exact, per deficient row only)."""
+    batch, width = candidates.shape
+    # Stable order of valid entries first: argsort on the invalid flag.
+    order = np.argsort(invalid, axis=1, kind="stable")
+    sorted_candidates = np.take_along_axis(candidates, order, axis=1)
+    sorted_invalid = np.take_along_axis(invalid, order, axis=1)
+    result = sorted_candidates[:, :k].copy()
+    shortfall_rows = np.flatnonzero(sorted_invalid[:, :k].any(axis=1))
+    for i in shortfall_rows:
+        valid = sorted_candidates[i][~sorted_invalid[i]]
+        needed = k - len(valid)
+        if needed > 0:
+            members = exclusion._indices[
+                exclusion._indptr[rows[i]]:exclusion._indptr[rows[i] + 1]
+            ]
+            complement = np.setdiff1d(np.arange(num_nodes), members, assume_unique=False)
+            if len(complement) == 0:
+                complement = np.arange(num_nodes)  # degenerate: everything co-occurs
+            extra = rng.choice(complement, size=needed, replace=len(complement) < needed)
+            valid = np.concatenate([valid, extra])
+        result[i] = valid[:k]
+    return result
+
+
+class ContextualNegativeSampler:
+    """Samples ``k`` contextual negatives per target node.
+
+    Parameters
+    ----------
+    D:
+        Co-occurrence matrix; row ``i``'s nonzeros define ``context(i)``.
+    context_counts:
+        ``|context(v)|`` per node, defining ``P_V``.
+    num_negative:
+        ``k``, negatives per target.
+    mode:
+        ``'pre'`` or ``'batch'``.
+    pool_size:
+        Size of the offline pool in pre-sampling mode.
+    """
+
+    def __init__(self, D: sp.csr_matrix, context_counts: np.ndarray, num_negative: int,
+                 mode: str = "pre", pool_size: int = None, adjacency=None, seed=None):
+        if mode not in ("pre", "batch"):
+            raise ValueError("mode must be 'pre' or 'batch'")
+        if num_negative < 0:
+            raise ValueError("num_negative must be non-negative")
+        self.num_nodes = D.shape[0]
+        self.num_negative = num_negative
+        self.mode = mode
+        self._rng = ensure_rng(seed)
+        counts = np.asarray(context_counts, dtype=np.float64)
+        total = counts.sum()
+        self.probabilities = (counts / total if total > 0
+                              else np.full(self.num_nodes, 1.0 / self.num_nodes))
+        self._exclusion = _ExclusionIndex(_context_membership(D, adjacency))
+        if mode == "pre":
+            pool_size = pool_size or max(20 * num_negative, 200)
+            self._pool = self._rng.choice(self.num_nodes, size=pool_size, p=self.probabilities)
+
+    def sample(self, nodes: np.ndarray) -> np.ndarray:
+        """Return a ``(len(nodes), k)`` array of negative node ids."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        k = self.num_negative
+        if k == 0:
+            return np.empty((len(nodes), 0), dtype=np.int64)
+        margin = max(2 * k, 8)
+        if self.mode == "pre":
+            positions = self._rng.integers(0, len(self._pool), size=(len(nodes), k + margin))
+            candidates = self._pool[positions]
+        else:
+            # Batch mode: candidates restricted to the current batch of nodes.
+            weights = self.probabilities[nodes]
+            total = weights.sum()
+            weights = (weights / total if total > 0
+                       else np.full(len(nodes), 1.0 / len(nodes)))
+            drawn = self._rng.choice(len(nodes), size=(len(nodes), k + margin), p=weights)
+            candidates = nodes[drawn]
+        invalid = self._exclusion.excluded(nodes, candidates)
+        return _select_first_valid(candidates, invalid, k, self._rng,
+                                   self.num_nodes, nodes, self._exclusion)
+
+
+class UniformNegativeSampler:
+    """word2vec-style uniform negatives, still excluding the target's context
+    (the Fig. 6c ``NS`` ablation)."""
+
+    def __init__(self, D: sp.csr_matrix, num_negative: int, adjacency=None, seed=None):
+        self.num_nodes = D.shape[0]
+        self.num_negative = num_negative
+        self._rng = ensure_rng(seed)
+        self._exclusion = _ExclusionIndex(_context_membership(D, adjacency))
+
+    def sample(self, nodes: np.ndarray) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        k = self.num_negative
+        if k == 0:
+            return np.empty((len(nodes), 0), dtype=np.int64)
+        margin = max(2 * k, 8)
+        candidates = self._rng.integers(0, self.num_nodes, size=(len(nodes), k + margin))
+        invalid = self._exclusion.excluded(nodes, candidates)
+        return _select_first_valid(candidates, invalid, k, self._rng,
+                                   self.num_nodes, nodes, self._exclusion)

@@ -1,0 +1,320 @@
+"""The CoANE estimator: end-to-end training pipeline (paper Algorithm 1).
+
+Pre-processing: sample walks, extract subsampled contexts, build the
+co-occurrence matrices ``D``/``D1`` and the negative-sampling pool.
+Training: each epoch encodes contexts through the convolution, pools node
+embeddings, evaluates the three-way objective, and updates the filters and
+decoder with Adam.  Full-batch updates are the default (every dataset analog
+fits comfortably in memory); ``batch_size`` enables the paper's batch
+updating, in which out-of-batch embeddings enter the loss as constants from
+the previous refresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CoANEConfig
+from repro.core.losses import (
+    attribute_preservation_loss,
+    contextual_negative_loss,
+    positive_graph_likelihood,
+    skipgram_positive,
+)
+from repro.core.model import CoANEModel
+from repro.core.negative_sampling import ContextualNegativeSampler, UniformNegativeSampler
+from repro.graph.attributed_graph import AttributedGraph
+from repro.nn import Adam, Tensor, no_grad
+from repro.utils.rng import spawn_rngs
+from repro.walks.contexts import ContextSet, attribute_context_matrices, extract_contexts
+from repro.walks.cooccurrence import build_cooccurrence
+from repro.walks.random_walk import RandomWalker
+
+
+def _onehop_contexts(graph: AttributedGraph, context_size: int, rng) -> ContextSet:
+    """Contexts built from first-hop neighbors only (Fig. 6a's "Original
+    Neighbors" case): each window centres the target and fills the remaining
+    slots with neighbors sampled without positional meaning."""
+    half = (context_size - 1) // 2
+    windows = []
+    midsts = []
+    for node in range(graph.num_nodes):
+        neighbors = graph.neighbors(node)
+        if len(neighbors) == 0:
+            window = np.full(context_size, -1, dtype=np.int64)
+            window[half] = node
+            windows.append(window)
+            midsts.append(node)
+            continue
+        num_windows = max(1, int(np.ceil(len(neighbors) / max(context_size - 1, 1))))
+        for _ in range(num_windows):
+            fill = rng.choice(neighbors, size=context_size - 1,
+                              replace=len(neighbors) < context_size - 1)
+            window = np.empty(context_size, dtype=np.int64)
+            window[:half] = fill[:half]
+            window[half] = node
+            window[half + 1:] = fill[half:]
+            windows.append(window)
+            midsts.append(node)
+    return ContextSet(np.asarray(windows), np.asarray(midsts), graph.num_nodes)
+
+
+class CoANE:
+    """Context Co-occurrence-aware Attributed Network Embedding.
+
+    Scikit-learn style estimator::
+
+        model = CoANE(CoANEConfig(embedding_dim=128, epochs=50, seed=0))
+        Z = model.fit_transform(graph)
+
+    After :meth:`fit`, inspection attributes are available:
+    ``history_`` (per-epoch loss terms), ``model_`` (the network),
+    ``context_set_``, ``cooccurrence_``.
+    """
+
+    def __init__(self, config: CoANEConfig = None, **overrides):
+        if config is None:
+            config = CoANEConfig()
+        if overrides:
+            config = CoANEConfig(**{**config.__dict__, **overrides})
+        self.config = config.validate()
+        self.embeddings_ = None
+        self.history_ = []
+        self.model_ = None
+        self.context_set_ = None
+        self.cooccurrence_ = None
+
+    # ------------------------------------------------------------- pipeline
+    def fit(self, graph: AttributedGraph) -> "CoANE":
+        """Run pre-processing and training on ``graph``."""
+        cfg = self.config
+        walk_rng, context_rng, sampler_rng, init_rng, batch_rng = spawn_rngs(cfg.seed, 5)
+        n = graph.num_nodes
+
+        attributes = self._input_attributes(graph)
+
+        if cfg.context_source == "walk":
+            walker = RandomWalker(graph, seed=walk_rng)
+            walks = walker.walk(cfg.walk_length, num_walks=cfg.num_walks)
+            context_set = extract_contexts(
+                walks, cfg.context_size, n, subsample_t=cfg.subsample_t, seed=context_rng
+            )
+        else:
+            context_set = _onehop_contexts(graph, cfg.context_size, context_rng)
+        cooccurrence = build_cooccurrence(context_set, graph)
+        contexts_flat = attribute_context_matrices(context_set, attributes)
+
+        model = CoANEModel(
+            num_attributes=attributes.shape[1],
+            embedding_dim=cfg.embedding_dim,
+            context_size=cfg.context_size,
+            decoder_hidden=cfg.decoder_hidden,
+            extractor=cfg.extractor,
+            seed=init_rng,
+        )
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate)
+        sampler = self._build_sampler(cooccurrence, context_set, graph, sampler_rng)
+        pos_rows, pos_cols, pos_weights = self._positive_targets(cooccurrence)
+
+        self.model_ = model
+        self.context_set_ = context_set
+        self.cooccurrence_ = cooccurrence
+        self.history_ = []
+        self._negative_cache = None
+        segment_ids = context_set.midst
+
+        for epoch in range(cfg.epochs):
+            if cfg.batch_size is None:
+                record = self._full_batch_step(
+                    model, optimizer, contexts_flat, segment_ids, n, attributes,
+                    sampler, pos_rows, pos_cols, pos_weights,
+                )
+            else:
+                record = self._mini_batch_epoch(
+                    model, optimizer, contexts_flat, segment_ids, n, attributes,
+                    sampler, pos_rows, pos_cols, pos_weights, batch_rng,
+                )
+            record["epoch"] = epoch
+            self.history_.append(record)
+            for hook in cfg.history_hooks:
+                hook(epoch, self._current_embeddings(model, contexts_flat, segment_ids, n))
+
+        self.embeddings_ = self._current_embeddings(model, contexts_flat, segment_ids, n)
+        return self
+
+    def transform(self) -> np.ndarray:
+        """Return the learned ``(n, d')`` embedding matrix."""
+        if self.embeddings_ is None:
+            raise RuntimeError("call fit() before transform()")
+        return self.embeddings_
+
+    def fit_transform(self, graph: AttributedGraph) -> np.ndarray:
+        return self.fit(graph).transform()
+
+    # -------------------------------------------------------------- helpers
+    def _input_attributes(self, graph: AttributedGraph) -> np.ndarray:
+        """Node attributes, or identity rows for the WF (no-attributes) ablation."""
+        if self.config.use_attribute_input:
+            return graph.attributes
+        return np.eye(graph.num_nodes, dtype=np.float64)
+
+    def _build_sampler(self, cooccurrence, context_set, graph, rng):
+        cfg = self.config
+        if cfg.negative_mode == "off" or cfg.num_negative == 0:
+            return None
+        if cfg.negative_mode == "uniform":
+            return UniformNegativeSampler(cooccurrence.D, cfg.num_negative,
+                                          adjacency=graph.adjacency, seed=rng)
+        mode = cfg.resolve_sampling(graph.density)
+        return ContextualNegativeSampler(
+            cooccurrence.D, context_set.counts(), cfg.num_negative, mode=mode,
+            adjacency=graph.adjacency, seed=rng,
+        )
+
+    def _positive_targets(self, cooccurrence):
+        cfg = self.config
+        if cfg.positive_mode == "off":
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0, dtype=np.float64)
+        if cfg.positive_mode == "skipgram":
+            coo = cooccurrence.D.tocoo()
+            return (coo.row.astype(np.int64), coo.col.astype(np.int64),
+                    np.ones(len(coo.row), dtype=np.float64))
+        return cooccurrence.pairs()
+
+    def _fixed_negatives(self, sampler, targets) -> np.ndarray:
+        """Negative sets for full-batch training, drawn once before the first
+        update (the paper's offline pre-sampling).  A fixed set keeps the
+        repulsion confined to ``n·k`` pairs; resampling every epoch would
+        eventually push apart *every* unlinked pair — including pairs whose
+        link is merely unobserved, which is exactly what link prediction must
+        not do."""
+        if not hasattr(self, "_negative_cache") or self._negative_cache is None:
+            self._negative_cache = sampler.sample(targets)
+        return self._negative_cache
+
+    def _current_embeddings(self, model, contexts_flat, segment_ids, n) -> np.ndarray:
+        with no_grad():
+            return model.embed(contexts_flat, segment_ids, n).data.copy()
+
+    def _loss_terms(self, model, embeddings, targets, attributes, sampler,
+                    pos_rows, pos_cols, pos_weights, num_targets,
+                    right_constant=None):
+        """Evaluate the three loss terms for one update.
+
+        ``right_constant`` supports mini-batch mode: positive pairs whose
+        right endpoint lies outside the batch read its embedding from the
+        cached matrix as a constant.
+        """
+        cfg = self.config
+        left, right = CoANEModel.split_lr(embeddings)
+        if cfg.positive_mode == "skipgram":
+            pos = skipgram_positive(left, right, pos_rows, pos_cols, num_targets)
+        else:
+            pos = positive_graph_likelihood(left, right, pos_rows, pos_cols,
+                                            pos_weights, num_targets)
+        if sampler is not None and cfg.negative_strength > 0:
+            negatives = self._fixed_negatives(sampler, targets)
+            local = {node: i for i, node in enumerate(targets)}
+            neg_local = np.array([[local.get(v, -1) for v in row] for row in negatives])
+            if (neg_local >= 0).all():
+                rows = np.arange(len(targets))
+                neg = contextual_negative_loss(embeddings, rows, neg_local,
+                                               cfg.negative_strength, num_targets)
+            else:
+                # Mixed in/out-of-batch negatives: score live rows against the
+                # cached constant matrix (exact in full-batch mode, where the
+                # cache IS the live matrix values).
+                cache = right_constant if right_constant is not None else embeddings.data
+                k = negatives.shape[1]
+                rows = np.repeat(np.arange(len(targets)), k)
+                neg_vectors = Tensor(cache[negatives.ravel()])
+                scores = (embeddings[rows] * neg_vectors).sum(axis=1)
+                neg = (scores * scores).sum() * (
+                    cfg.negative_strength / (max(num_targets, 1) * k)
+                )
+        else:
+            neg = Tensor(np.zeros(()))
+        if cfg.gamma > 0:
+            reconstruction = model.reconstruct(embeddings)
+            att = attribute_preservation_loss(reconstruction, attributes, cfg.gamma)
+        else:
+            att = Tensor(np.zeros(()))
+        return pos, neg, att
+
+    def _full_batch_step(self, model, optimizer, contexts_flat, segment_ids, n,
+                         attributes, sampler, pos_rows, pos_cols, pos_weights) -> dict:
+        embeddings = model.embed(contexts_flat, segment_ids, n)
+        targets = np.arange(n)
+        pos, neg, att = self._loss_terms(
+            model, embeddings, targets, attributes, sampler,
+            pos_rows, pos_cols, pos_weights, num_targets=n,
+            right_constant=embeddings.data,
+        )
+        total = pos + neg + att
+        optimizer.zero_grad()
+        total.backward()
+        optimizer.step()
+        return {"loss": total.item(), "positive": pos.item(),
+                "negative": neg.item(), "attribute": att.item()}
+
+    def _mini_batch_epoch(self, model, optimizer, contexts_flat, segment_ids, n,
+                          attributes, sampler, pos_rows, pos_cols, pos_weights,
+                          rng) -> dict:
+        cfg = self.config
+        cached = self._current_embeddings(model, contexts_flat, segment_ids, n)
+        permutation = rng.permutation(n)
+        totals = {"loss": 0.0, "positive": 0.0, "negative": 0.0, "attribute": 0.0}
+        num_batches = 0
+        half = cfg.embedding_dim // 2
+        for start in range(0, n, cfg.batch_size):
+            batch = np.sort(permutation[start:start + cfg.batch_size])
+            mask = np.isin(segment_ids, batch)
+            if not mask.any():
+                continue
+            batch_contexts = contexts_flat[np.flatnonzero(mask)]
+            local_of = {node: i for i, node in enumerate(batch)}
+            local_segments = np.array([local_of[s] for s in segment_ids[mask]])
+            embeddings = model.embed(batch_contexts, local_segments, len(batch))
+
+            pair_mask = np.isin(pos_rows, batch)
+            rows = np.array([local_of[r] for r in pos_rows[pair_mask]], dtype=np.int64)
+            cols_global = pos_cols[pair_mask]
+            weights = pos_weights[pair_mask]
+            left, _ = CoANEModel.split_lr(embeddings)
+            if len(rows):
+                right_const = Tensor(cached[cols_global, half:])
+                scores = (left[rows] * right_const).sum(axis=1)
+                weighted = Tensor(weights) * scores.log_sigmoid()
+                pos = -(weighted.sum() / max(len(batch), 1))
+            else:
+                pos = Tensor(np.zeros(()))
+            if sampler is not None and cfg.negative_strength > 0:
+                negatives = sampler.sample(batch)
+                k = negatives.shape[1]
+                rep = np.repeat(np.arange(len(batch)), k)
+                neg_vectors = Tensor(cached[negatives.ravel()])
+                scores = (embeddings[rep] * neg_vectors).sum(axis=1)
+                neg = (scores * scores).sum() * (
+                    cfg.negative_strength / (max(len(batch), 1) * k)
+                )
+            else:
+                neg = Tensor(np.zeros(()))
+            if cfg.gamma > 0:
+                reconstruction = model.reconstruct(embeddings)
+                att = attribute_preservation_loss(reconstruction, attributes[batch], cfg.gamma)
+            else:
+                att = Tensor(np.zeros(()))
+            total = pos + neg + att
+            optimizer.zero_grad()
+            total.backward()
+            optimizer.step()
+            cached[batch] = embeddings.data
+            totals["loss"] += total.item()
+            totals["positive"] += pos.item()
+            totals["negative"] += neg.item()
+            totals["attribute"] += att.item()
+            num_batches += 1
+        if num_batches:
+            totals = {key: value / num_batches for key, value in totals.items()}
+        return totals

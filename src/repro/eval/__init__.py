@@ -1,0 +1,38 @@
+"""Evaluation substrate: metrics, classifiers, clustering, splits, t-SNE.
+
+Reimplements the scikit-learn pieces the paper's evaluation protocol uses
+(Sec. 4.1-4.2): one-vs-rest L2 logistic regression for node classification
+and link prediction, k-means + NMI for clustering, Macro/Micro-F1 and AUC
+metrics, and exact t-SNE for the embedding visualisations.
+"""
+
+from repro.eval.classification import LogisticRegression, OneVsRestClassifier
+from repro.eval.clustering import kmeans
+from repro.eval.link_prediction import LinkPredictionSplit, hadamard_features, link_prediction_auc, split_edges
+from repro.eval.metrics import accuracy, auc_score, f1_scores, normalized_mutual_information
+from repro.eval.pipeline import (
+    evaluate_classification,
+    evaluate_clustering,
+    evaluate_link_prediction,
+)
+from repro.eval.splits import stratified_node_split
+from repro.eval.tsne import tsne
+
+__all__ = [
+    "LogisticRegression",
+    "OneVsRestClassifier",
+    "kmeans",
+    "accuracy",
+    "auc_score",
+    "f1_scores",
+    "normalized_mutual_information",
+    "stratified_node_split",
+    "LinkPredictionSplit",
+    "split_edges",
+    "hadamard_features",
+    "link_prediction_auc",
+    "evaluate_classification",
+    "evaluate_clustering",
+    "evaluate_link_prediction",
+    "tsne",
+]

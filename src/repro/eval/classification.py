@@ -1,0 +1,105 @@
+"""Logistic regression, the downstream classifier of the paper's protocol.
+
+Node classification and link prediction both train "one-vs-rest logistic
+regression with L2 regularization" on frozen embeddings (Sec. 4.2, following
+node2vec's protocol).  The binary solver minimises the regularised
+log-likelihood with scipy's L-BFGS, which is deterministic and fast at the
+feature dimensions involved (d' = 128).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+
+class LogisticRegression:
+    """Binary L2-regularised logistic regression.
+
+    Parameters
+    ----------
+    l2:
+        Regularisation strength on the weights (the intercept is not
+        penalised), i.e. ``loss = logloss + l2/2 * ||w||^2``.
+    max_iter:
+        L-BFGS iteration cap.
+    """
+
+    def __init__(self, l2: float = 1.0, max_iter: int = 200):
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.weights_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, features, targets) -> "LogisticRegression":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if set(np.unique(targets)) - {0.0, 1.0}:
+            raise ValueError("binary targets must be 0/1")
+        n, d = features.shape
+
+        def objective(parameters):
+            weights, intercept = parameters[:d], parameters[d]
+            logits = features @ weights + intercept
+            # log(1 + exp(-z*y')) with y' in {-1, +1}
+            signed = np.where(targets > 0.5, -logits, logits)
+            loss = np.logaddexp(0.0, signed).mean() + 0.5 * self.l2 * (weights @ weights) / n
+            probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+            error = (probabilities - targets) / n
+            gradient = np.concatenate([features.T @ error + self.l2 * weights / n,
+                                       [error.sum()]])
+            return loss, gradient
+
+        initial = np.zeros(d + 1)
+        result = minimize(objective, initial, jac=True, method="L-BFGS-B",
+                          options={"maxiter": self.max_iter})
+        self.weights_ = result.x[:d]
+        self.intercept_ = float(result.x[d])
+        return self
+
+    def decision_function(self, features) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("call fit() first")
+        return np.asarray(features, dtype=np.float64) @ self.weights_ + self.intercept_
+
+    def predict_proba(self, features) -> np.ndarray:
+        logits = np.clip(self.decision_function(features), -500, 500)
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def predict(self, features) -> np.ndarray:
+        return (self.decision_function(features) >= 0.0).astype(np.int64)
+
+
+class OneVsRestClassifier:
+    """One-vs-rest reduction over :class:`LogisticRegression` binaries."""
+
+    def __init__(self, l2: float = 1.0, max_iter: int = 200):
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.classes_ = None
+        self._models = []
+
+    def fit(self, features, labels) -> "OneVsRestClassifier":
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self._models = []
+        for cls in self.classes_:
+            binary = LogisticRegression(l2=self.l2, max_iter=self.max_iter)
+            binary.fit(features, (labels == cls).astype(np.float64))
+            self._models.append(binary)
+        return self
+
+    def decision_function(self, features) -> np.ndarray:
+        if not self._models:
+            raise RuntimeError("call fit() first")
+        return np.column_stack([m.decision_function(features) for m in self._models])
+
+    def predict(self, features) -> np.ndarray:
+        scores = self.decision_function(features)
+        return self.classes_[np.argmax(scores, axis=1)]

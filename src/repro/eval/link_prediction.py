@@ -1,0 +1,121 @@
+"""Link-prediction protocol (paper Sec. 4.2).
+
+Edges are split 70/10/20 into train/validation/test; the same number of
+non-edges is sampled as negatives for each part, embeddings are trained on
+the graph restricted to the training edges, node pairs are featurised with
+the Hadamard product of their embeddings (node2vec's operator), a logistic
+regression is fit on the training pairs, and AUC is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.classification import LogisticRegression
+from repro.eval.metrics import auc_score
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class LinkPredictionSplit:
+    """Positive and negative node pairs for each phase."""
+
+    graph: AttributedGraph          # original graph
+    train_graph: AttributedGraph    # only the training edges
+    train_pos: np.ndarray
+    val_pos: np.ndarray
+    test_pos: np.ndarray
+    train_neg: np.ndarray
+    val_neg: np.ndarray
+    test_neg: np.ndarray
+
+    def pairs(self, phase: str) -> tuple:
+        """``(pairs, labels)`` arrays for 'train' | 'val' | 'test'."""
+        pos = getattr(self, f"{phase}_pos")
+        neg = getattr(self, f"{phase}_neg")
+        pairs = np.vstack([pos, neg])
+        labels = np.concatenate([np.ones(len(pos)), np.zeros(len(neg))])
+        return pairs, labels
+
+
+def _sample_non_edges(graph: AttributedGraph, count: int, rng, forbidden: set) -> np.ndarray:
+    """Sample ``count`` distinct non-adjacent pairs not already used."""
+    n = graph.num_nodes
+    chosen = []
+    seen = set(forbidden)
+    attempts = 0
+    while len(chosen) < count and attempts < count * 200:
+        attempts += 1
+        u, v = rng.integers(0, n, size=2)
+        if u == v:
+            continue
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        if key in seen or graph.has_edge(*key):
+            continue
+        seen.add(key)
+        chosen.append(key)
+    if len(chosen) < count:
+        raise RuntimeError("could not sample enough non-edges; graph too dense")
+    return np.array(chosen, dtype=np.int64)
+
+
+def split_edges(graph: AttributedGraph, train_ratio: float = 0.7, val_ratio: float = 0.1,
+                seed=None) -> LinkPredictionSplit:
+    """Create the paper's 70/10/20 edge split with matched negatives.
+
+    Negative pairs are sampled without replacement across the three phases so
+    "the negative instances are not replicated in both sets".
+    """
+    if train_ratio <= 0 or val_ratio < 0 or train_ratio + val_ratio >= 1.0:
+        raise ValueError("ratios must satisfy 0 < train, 0 <= val, train + val < 1")
+    rng = ensure_rng(seed)
+    edges = graph.edge_list()
+    edges = edges[rng.permutation(len(edges))]
+    num_train = int(round(train_ratio * len(edges)))
+    num_val = int(round(val_ratio * len(edges)))
+    if num_train < 1 or len(edges) - num_train - num_val < 1:
+        raise ValueError("graph has too few edges for this split")
+    train_pos = edges[:num_train]
+    val_pos = edges[num_train:num_train + num_val]
+    test_pos = edges[num_train + num_val:]
+
+    used = set()
+    train_neg = _sample_non_edges(graph, len(train_pos), rng, used)
+    used.update(map(tuple, train_neg))
+    val_neg = (_sample_non_edges(graph, len(val_pos), rng, used)
+               if len(val_pos) else np.empty((0, 2), dtype=np.int64))
+    used.update(map(tuple, val_neg))
+    test_neg = _sample_non_edges(graph, len(test_pos), rng, used)
+
+    train_graph = graph.subgraph_with_edges(train_pos)
+    return LinkPredictionSplit(
+        graph=graph, train_graph=train_graph,
+        train_pos=train_pos, val_pos=val_pos, test_pos=test_pos,
+        train_neg=train_neg, val_neg=val_neg, test_neg=test_neg,
+    )
+
+
+def hadamard_features(embeddings: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Element-wise product of the two endpoint embeddings (node2vec's
+    Hadamard operator)."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    return embeddings[pairs[:, 0]] * embeddings[pairs[:, 1]]
+
+
+def link_prediction_auc(embeddings: np.ndarray, split: LinkPredictionSplit,
+                        phases=("test",), l2: float = 1.0) -> dict:
+    """Fit logistic regression on the training pairs, return AUC per phase."""
+    train_pairs, train_labels = split.pairs("train")
+    classifier = LogisticRegression(l2=l2)
+    classifier.fit(hadamard_features(embeddings, train_pairs), train_labels)
+    results = {}
+    for phase in phases:
+        pairs, labels = split.pairs(phase)
+        if len(pairs) == 0:
+            continue
+        scores = classifier.decision_function(hadamard_features(embeddings, pairs))
+        results[phase] = auc_score(labels, scores)
+    return results

@@ -1,0 +1,67 @@
+"""High-level evaluation runners used by the benchmark harness.
+
+Each function takes frozen embeddings (or an embedding-method factory for
+link prediction, which must re-train on the incomplete training graph) and
+applies the paper's protocol for one task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.classification import OneVsRestClassifier
+from repro.eval.clustering import kmeans
+from repro.eval.link_prediction import link_prediction_auc, split_edges
+from repro.eval.metrics import f1_scores, normalized_mutual_information
+from repro.eval.splits import stratified_node_split
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.rng import ensure_rng
+
+
+def evaluate_classification(embeddings: np.ndarray, labels: np.ndarray,
+                            train_ratios=(0.05, 0.2, 0.5), num_repeats: int = 3,
+                            seed=None) -> dict:
+    """Node-label classification (paper Sec. 4.2, Tables 2-3).
+
+    Returns ``{ratio: {"macro": ..., "micro": ...}}`` averaged over
+    ``num_repeats`` random stratified splits.
+    """
+    rng = ensure_rng(seed)
+    results = {}
+    for ratio in train_ratios:
+        macros, micros = [], []
+        for _ in range(num_repeats):
+            train, test = stratified_node_split(labels, ratio, seed=rng)
+            classifier = OneVsRestClassifier()
+            classifier.fit(embeddings[train], labels[train])
+            predictions = classifier.predict(embeddings[test])
+            scores = f1_scores(labels[test], predictions)
+            macros.append(scores["macro"])
+            micros.append(scores["micro"])
+        results[ratio] = {"macro": float(np.mean(macros)), "micro": float(np.mean(micros))}
+    return results
+
+
+def evaluate_clustering(embeddings: np.ndarray, labels: np.ndarray,
+                        num_repeats: int = 3, seed=None) -> float:
+    """Node clustering NMI (paper Sec. 4.2, Tables 4-5): k-means with K set
+    to the number of ground-truth classes, averaged over restarts."""
+    rng = ensure_rng(seed)
+    k = len(np.unique(labels))
+    scores = []
+    for _ in range(num_repeats):
+        assignment = kmeans(embeddings, k, seed=rng)
+        scores.append(normalized_mutual_information(labels, assignment))
+    return float(np.mean(scores))
+
+
+def evaluate_link_prediction(embed_fn, graph: AttributedGraph, seed=None,
+                             phases=("test",)) -> dict:
+    """Link-prediction AUC (paper Sec. 4.2, Table 4).
+
+    ``embed_fn(train_graph) -> embeddings`` must train the embedding method
+    on the graph restricted to the 70% training edges.
+    """
+    split = split_edges(graph, seed=seed)
+    embeddings = embed_fn(split.train_graph)
+    return link_prediction_auc(embeddings, split, phases=phases)

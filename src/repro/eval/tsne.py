@@ -1,0 +1,111 @@
+"""Exact t-SNE [van der Maaten & Hinton, 2008].
+
+Used by the Fig. 3 / Fig. 5 experiments.  This is the exact O(n²) variant
+with the standard tricks: binary-search perplexity calibration, early
+exaggeration, and momentum gradient descent.  For the dataset analogs
+(n ≤ ~1000 in benchmark use) it runs in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def _pairwise_sq_distances(points: np.ndarray) -> np.ndarray:
+    sq_norms = (points**2).sum(axis=1)
+    distances = sq_norms[:, None] - 2.0 * points @ points.T + sq_norms[None, :]
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _calibrate_row(distances: np.ndarray, perplexity: float, tolerance: float = 1e-5,
+                   max_iter: int = 50) -> np.ndarray:
+    """Binary-search the Gaussian bandwidth for one row to hit the target
+    perplexity; returns the row's conditional probabilities."""
+    target_entropy = np.log(perplexity)
+    beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+    probabilities = None
+    for _ in range(max_iter):
+        exponents = -distances * beta
+        exponents -= exponents.max()
+        weights = np.exp(exponents)
+        total = weights.sum()
+        probabilities = weights / total
+        entropy = -(probabilities[probabilities > 0] *
+                    np.log(probabilities[probabilities > 0])).sum()
+        difference = entropy - target_entropy
+        if abs(difference) < tolerance:
+            break
+        if difference > 0:
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else 0.5 * (beta + beta_max)
+        else:
+            beta_max = beta
+            beta = beta / 2.0 if beta_min == -np.inf else 0.5 * (beta + beta_min)
+    return probabilities
+
+
+def tsne(points, num_components: int = 2, perplexity: float = 30.0,
+         num_iter: int = 300, learning_rate: float = 200.0, seed=None) -> np.ndarray:
+    """Embed ``points`` into ``num_components`` dimensions with exact t-SNE."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n < 4:
+        raise ValueError("t-SNE needs at least 4 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    rng = ensure_rng(seed)
+
+    distances = _pairwise_sq_distances(points)
+    conditional = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(distances[i], i)
+        probabilities = _calibrate_row(row, perplexity)
+        conditional[i, np.arange(n) != i] = probabilities
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    embedding = rng.normal(0.0, 1e-4, size=(n, num_components))
+    increment = np.zeros_like(embedding)
+    exaggeration_until = min(100, num_iter // 3)
+    for iteration in range(num_iter):
+        p = joint * 12.0 if iteration < exaggeration_until else joint
+        low_d_sq = _pairwise_sq_distances(embedding)
+        kernel = 1.0 / (1.0 + low_d_sq)
+        np.fill_diagonal(kernel, 0.0)
+        q = np.maximum(kernel / kernel.sum(), 1e-12)
+        coefficient = (p - q) * kernel
+        gradient = 4.0 * ((np.diag(coefficient.sum(axis=1)) - coefficient) @ embedding)
+        momentum = 0.5 if iteration < exaggeration_until else 0.8
+        increment = momentum * increment - learning_rate * gradient
+        embedding += increment
+        embedding -= embedding.mean(axis=0)
+    return embedding
+
+
+def cluster_separation(embedding2d: np.ndarray, labels: np.ndarray) -> float:
+    """Silhouette-style separation score for a 2-D layout.
+
+    Ratio of mean between-class centroid distance to mean within-class spread
+    — larger means more compact, better-separated clusters.  This is the
+    numeric stand-in for visually judging Fig. 3.
+    """
+    labels = np.asarray(labels)
+    centroids = []
+    spreads = []
+    for cls in np.unique(labels):
+        members = embedding2d[labels == cls]
+        centre = members.mean(axis=0)
+        centroids.append(centre)
+        spreads.append(np.sqrt(((members - centre) ** 2).sum(axis=1)).mean())
+    centroids = np.asarray(centroids)
+    k = len(centroids)
+    if k < 2:
+        raise ValueError("need at least two classes")
+    between = [
+        np.linalg.norm(centroids[i] - centroids[j])
+        for i in range(k) for j in range(i + 1, k)
+    ]
+    within = float(np.mean(spreads))
+    return float(np.mean(between) / max(within, 1e-12))

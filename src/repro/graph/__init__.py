@@ -1,0 +1,26 @@
+"""Attributed-graph substrate: container, synthetic generators, datasets, IO."""
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.datasets import DATASETS, dataset_names, load_dataset, summarize_datasets
+from repro.graph.generators import (
+    citation_graph,
+    social_circle_graph,
+    webkb_like_graph,
+)
+from repro.graph.io import read_linqs, write_linqs
+from repro.graph.sparse import gcn_normalize, row_normalize
+
+__all__ = [
+    "AttributedGraph",
+    "citation_graph",
+    "social_circle_graph",
+    "webkb_like_graph",
+    "load_dataset",
+    "dataset_names",
+    "summarize_datasets",
+    "DATASETS",
+    "read_linqs",
+    "write_linqs",
+    "row_normalize",
+    "gcn_normalize",
+]

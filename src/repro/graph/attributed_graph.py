@@ -1,0 +1,198 @@
+"""The attributed-graph container used throughout the library.
+
+The paper's input is ``G = (V, E, X)``: a (weighted, undirected) adjacency
+matrix ``E`` over ``n`` nodes and a node-attribute matrix ``X ∈ R^{n×d}``;
+each node optionally carries one class label used as ground truth for
+classification and clustering (Sec. 3, Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class AttributedGraph:
+    """Undirected attributed graph with CSR adjacency.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(n, n)`` scipy sparse or dense array.  Symmetrised on construction
+        (maximum of the two directions) because every model in the paper
+        treats edges as undirected.
+    attributes:
+        ``(n, d)`` dense array of node attributes.
+    labels:
+        Optional length-``n`` integer array of class labels.
+    name:
+        Human-readable dataset name (appears in benchmark tables).
+    """
+
+    def __init__(self, adjacency, attributes, labels=None, name: str = "graph"):
+        adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+        adjacency = adjacency.maximum(adjacency.T)
+        adjacency.setdiag(0)
+        adjacency.eliminate_zeros()
+        if (adjacency.data < 0).any():
+            raise ValueError("edge weights must be non-negative")
+
+        attributes = np.asarray(attributes, dtype=np.float64)
+        if attributes.ndim != 2:
+            raise ValueError(f"attributes must be 2-D, got shape {attributes.shape}")
+        if attributes.shape[0] != adjacency.shape[0]:
+            raise ValueError(
+                f"attribute rows ({attributes.shape[0]}) != nodes ({adjacency.shape[0]})"
+            )
+
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.shape != (adjacency.shape[0],):
+                raise ValueError("labels must be a 1-D array with one entry per node")
+
+        self.adjacency = adjacency
+        self.attributes = attributes
+        self.labels = labels
+        self.name = name
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_attributes(self) -> int:
+        return self.attributes.shape[1]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.adjacency.nnz // 2
+
+    @property
+    def num_labels(self) -> int:
+        if self.labels is None:
+            return 0
+        return len(np.unique(self.labels))
+
+    @property
+    def density(self) -> float:
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        return self.num_edges / (n * (n - 1) / 2.0)
+
+    def degrees(self) -> np.ndarray:
+        """Weighted degree of every node."""
+        return np.asarray(self.adjacency.sum(axis=1)).ravel()
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Indices of nodes adjacent to ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
+        return self.adjacency.indices[self.adjacency.indptr[node]:self.adjacency.indptr[node + 1]]
+
+    def edge_list(self) -> np.ndarray:
+        """``(m, 2)`` array of undirected edges with ``u < v``."""
+        coo = sp.triu(self.adjacency, k=1).tocoo()
+        return np.column_stack([coo.row, coo.col]).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(self.adjacency[u, v] != 0)
+
+    # ------------------------------------------------------------- mutation
+    def subgraph_with_edges(self, edges: np.ndarray) -> "AttributedGraph":
+        """Same node set, adjacency restricted to ``edges`` (used by the
+        link-prediction split, which trains embeddings on 70% of edges)."""
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must have shape (m, 2)")
+        n = self.num_nodes
+        data = np.ones(len(edges))
+        adj = sp.csr_matrix((data, (edges[:, 0], edges[:, 1])), shape=(n, n))
+        return AttributedGraph(adj, self.attributes, self.labels, name=self.name)
+
+    def khop_neighbors(self, node: int, hops: int) -> np.ndarray:
+        """All nodes within ``hops`` hops of ``node`` (excluding itself)."""
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        frontier = {node}
+        reached = {node}
+        for _ in range(hops):
+            next_frontier = set()
+            for u in frontier:
+                next_frontier.update(self.neighbors(u).tolist())
+            frontier = next_frontier - reached
+            reached |= frontier
+        reached.discard(node)
+        return np.array(sorted(reached), dtype=np.int64)
+
+    def largest_connected_component(self) -> "AttributedGraph":
+        """Restrict to the largest connected component, relabelling nodes."""
+        n_components, assignment = sp.csgraph.connected_components(self.adjacency, directed=False)
+        if n_components == 1:
+            return self
+        sizes = np.bincount(assignment)
+        keep = np.flatnonzero(assignment == sizes.argmax())
+        adj = self.adjacency[keep][:, keep]
+        labels = self.labels[keep] if self.labels is not None else None
+        return AttributedGraph(adj, self.attributes[keep], labels, name=self.name)
+
+    # --------------------------------------------------------- interop
+    @classmethod
+    def from_networkx(cls, nx_graph, attribute_key: str = "x",
+                      label_key: str = "y", name: str = None) -> "AttributedGraph":
+        """Build from a networkx graph whose nodes carry attribute vectors.
+
+        Node attribute ``attribute_key`` must hold an array-like feature
+        vector on every node; ``label_key`` optionally holds an integer class
+        label.  Nodes are indexed in ``nx_graph.nodes()`` order.
+        """
+        import networkx as nx
+
+        nodes = list(nx_graph.nodes())
+        index_of = {node: i for i, node in enumerate(nodes)}
+        try:
+            attributes = np.asarray(
+                [nx_graph.nodes[node][attribute_key] for node in nodes], dtype=np.float64
+            )
+        except KeyError as error:
+            raise ValueError(
+                f"every node needs an {attribute_key!r} attribute vector"
+            ) from error
+        labels = None
+        if all(label_key in nx_graph.nodes[node] for node in nodes):
+            labels = np.asarray([nx_graph.nodes[node][label_key] for node in nodes])
+        n = len(nodes)
+        rows, cols, data = [], [], []
+        for u, v, edge_data in nx_graph.edges(data=True):
+            rows.append(index_of[u])
+            cols.append(index_of[v])
+            data.append(float(edge_data.get("weight", 1.0)))
+        adjacency = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+        return cls(adjacency, attributes, labels, name=name or str(nx_graph))
+
+    def to_networkx(self):
+        """Export to a networkx Graph with ``x`` (attributes), ``y`` (label),
+        and edge ``weight`` data."""
+        import networkx as nx
+
+        nx_graph = nx.Graph(name=self.name)
+        for node in range(self.num_nodes):
+            data = {"x": self.attributes[node]}
+            if self.labels is not None:
+                data["y"] = int(self.labels[node])
+            nx_graph.add_node(node, **data)
+        coo = sp.triu(self.adjacency, k=1).tocoo()
+        for u, v, w in zip(coo.row, coo.col, coo.data):
+            nx_graph.add_edge(int(u), int(v), weight=float(w))
+        return nx_graph
+
+    def __repr__(self) -> str:
+        return (
+            f"AttributedGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, attributes={self.num_attributes}, "
+            f"labels={self.num_labels})"
+        )

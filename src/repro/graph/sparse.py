@@ -1,0 +1,36 @@
+"""Sparse-matrix helpers for graph models."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def row_normalize(matrix) -> sp.csr_matrix:
+    """Scale each row to sum to 1 (rows summing to 0 are left as zeros).
+
+    The random walker's transition matrix is the row-normalised adjacency
+    (paper Sec. 3.1: ``p(v_i) = E_ij / sum_j E_ij``).
+    """
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    scale = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums > 0)
+    return sp.diags(scale) @ matrix
+
+
+def gcn_normalize(adjacency, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``."""
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    if add_self_loops:
+        adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    inv_sqrt = np.divide(1.0, np.sqrt(degrees), out=np.zeros_like(degrees), where=degrees > 0)
+    scale = sp.diags(inv_sqrt)
+    return (scale @ adjacency @ scale).tocsr()
+
+
+def to_dense(matrix) -> np.ndarray:
+    """Dense float64 copy of a scipy sparse (or dense) matrix."""
+    if sp.issparse(matrix):
+        return np.asarray(matrix.todense(), dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64)

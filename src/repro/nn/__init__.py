@@ -1,0 +1,45 @@
+"""Minimal reverse-mode autodiff and neural-network substrate.
+
+The original CoANE implementation is written in PyTorch; this environment has
+no deep-learning framework installed, so the package provides the subset CoANE
+and the baseline models need, built on numpy:
+
+* :class:`repro.nn.Tensor` — reverse-mode autodiff over numpy arrays with full
+  broadcasting support,
+* layers (:class:`Linear`, :class:`MLP`, :class:`ContextConv1d`,
+  :class:`GCNConv`) built as :class:`Module` trees,
+* Xavier initialisation,
+* :class:`SGD` and :class:`Adam` optimisers,
+* loss helpers in :mod:`repro.nn.functional`.
+
+All gradients are verified against central finite differences in
+``tests/test_nn_gradcheck.py``.
+"""
+
+from repro.nn.tensor import Tensor, concat, no_grad, segment_mean, sparse_matmul, stack
+from repro.nn.init import xavier_normal, xavier_uniform
+from repro.nn.layers import MLP, ContextConv1d, GCNConv, Linear, Module, Parameter, Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import functional
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "segment_mean",
+    "sparse_matmul",
+    "no_grad",
+    "xavier_uniform",
+    "xavier_normal",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "ContextConv1d",
+    "GCNConv",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "functional",
+]

@@ -1,0 +1,53 @@
+"""Loss helpers shared by CoANE and the baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error; ``target`` may be a raw array (treated as constant)."""
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=np.float64))
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target, weight=None) -> Tensor:
+    """Numerically stable BCE on logits.
+
+    ``loss = softplus(x) - x * y`` element-wise, optionally re-weighted (the
+    GAE family up-weights positive edges by ``(n^2 - |E|) / |E|``).
+    """
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=np.float64))
+    loss = logits.softplus() - logits * target
+    if weight is not None:
+        if not isinstance(weight, Tensor):
+            weight = Tensor(np.asarray(weight, dtype=np.float64))
+        loss = loss * weight
+    return loss.mean()
+
+
+def negative_sampling_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Skip-gram objective: ``-log σ(pos) - log σ(-neg)`` averaged."""
+    return -(pos_scores.log_sigmoid().mean() + (-neg_scores).log_sigmoid().mean())
+
+
+def l2_regularization(parameters, coefficient: float) -> Tensor:
+    """Sum of squared parameter norms scaled by ``coefficient``."""
+    total = None
+    for p in parameters:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("no parameters given")
+    return total * coefficient
+
+
+def kl_normal(mu: Tensor, logvar: Tensor) -> Tensor:
+    """KL(N(mu, sigma) || N(0, 1)) averaged over rows (VGAE's regulariser)."""
+    term = 1.0 + logvar - mu * mu - logvar.exp()
+    return term.sum(axis=1).mean() * (-0.5)

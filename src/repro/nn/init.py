@@ -1,0 +1,39 @@
+"""Weight initialisation.
+
+CoANE initialises both the convolution filters and node embeddings with the
+Xavier (Glorot) uniform scheme [Glorot & Bengio, 2010], which the paper cites
+explicitly (Section 3.3.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def _fan_in_out(shape: tuple) -> tuple:
+    if len(shape) < 1:
+        raise ValueError("shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape, gain: float = 1.0, seed=None) -> np.ndarray:
+    """Sample from U(-a, a) with ``a = gain * sqrt(6 / (fan_in + fan_out))``."""
+    rng = ensure_rng(seed)
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, gain: float = 1.0, seed=None) -> np.ndarray:
+    """Sample from N(0, std^2) with ``std = gain * sqrt(2 / (fan_in + fan_out))``."""
+    rng = ensure_rng(seed)
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)

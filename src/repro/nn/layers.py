@@ -1,0 +1,223 @@
+"""Neural-network modules built on the autograd :class:`~repro.nn.Tensor`.
+
+The layer inventory is exactly what the paper's models need:
+
+* :class:`Linear` / :class:`MLP` — the attribute decoder (Sec. 3.3.3) and the
+  encoders of the autoencoder baselines,
+* :class:`ContextConv1d` — CoANE's non-overlapping 1-D convolution over
+  attribute-context matrices (Sec. 3.2),
+* :class:`GCNConv` — the spectral graph convolution used by the GAE / VGAE /
+  ARGA / ARVGA baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform
+from repro.nn.tensor import Tensor, segment_mean, sparse_matmul
+from repro.utils.rng import ensure_rng
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with recursive parameter discovery (like ``torch.nn.Module``)."""
+
+    def parameters(self) -> list:
+        found = []
+        seen = set()
+        for value in vars(self).values():
+            if isinstance(value, Parameter) and id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+            elif isinstance(value, Module):
+                for p in value.parameters():
+                    if id(p) not in seen:
+                        seen.add(id(p))
+                        found.append(p)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        for p in item.parameters():
+                            if id(p) not in seen:
+                                seen.add(id(p))
+                                found.append(p)
+                    elif isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        found.append(item)
+        return found
+
+    def zero_grad(self):
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed=None):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((in_features, out_features), seed=seed))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+_ACTIVATIONS = {
+    "relu": lambda t: t.relu(),
+    "tanh": lambda t: t.tanh(),
+    "sigmoid": lambda t: t.sigmoid(),
+    "identity": lambda t: t,
+}
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden activation.
+
+    CoANE's attribute decoder is ``MLP([d', h, d], activation="relu")`` — two
+    hidden layers of ReLU, as described in Sec. 3.3.3.
+    """
+
+    def __init__(self, sizes, activation: str = "relu", output_activation: str = "identity", seed=None):
+        sizes = list(sizes)
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        if activation not in _ACTIVATIONS or output_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation; choose from {sorted(_ACTIVATIONS)}")
+        rng = ensure_rng(seed)
+        self.layers = [Linear(a, b, seed=rng) for a, b in zip(sizes[:-1], sizes[1:])]
+        self._activation = activation
+        self._output_activation = output_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers[:-1]:
+            x = _ACTIVATIONS[self._activation](layer(x))
+        return _ACTIVATIONS[self._output_activation](self.layers[-1](x))
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules):
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+class ContextConv1d(Module):
+    """CoANE's non-overlapping 1-D convolution over attribute-context matrices.
+
+    Each context of size ``c`` around a midst node is the matrix
+    ``R ∈ R^{c×d}`` of its member nodes' attributes; treating the ``d``
+    attributes as channels and setting both the receptive field and stride to
+    ``c``, every filter ``Θ_j ∈ R^{c×d}`` reads exactly one context and emits
+    one scalar ``sum(R ⊙ Θ_j)`` (paper Sec. 3.2).  With ``d'`` filters a
+    context becomes a ``d'``-vector; average pooling over a node's contexts
+    (:func:`repro.nn.segment_mean`) yields its embedding.
+
+    Because the stride equals the field size, the whole convolution is one
+    matrix product between row-flattened contexts ``(num_contexts, c*d)`` and
+    the flattened filter bank ``(c*d, d')`` — which is how we implement it.
+    """
+
+    def __init__(self, context_size: int, in_channels: int, out_channels: int, bias: bool = False, seed=None):
+        if context_size <= 0 or in_channels <= 0 or out_channels <= 0:
+            raise ValueError("context_size, in_channels and out_channels must be positive")
+        self.context_size = context_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.weight = Parameter(
+            xavier_uniform((context_size * in_channels, out_channels), seed=seed)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, contexts) -> Tensor:
+        """Map flattened contexts ``(num_contexts, c*d)`` to ``(num_contexts, d')``.
+
+        ``contexts`` may be a :class:`Tensor`, a raw dense array, or a scipy
+        sparse matrix (constant input; the sparse path is much faster for
+        bag-of-words attributes).
+        """
+        import scipy.sparse as sp
+
+        expected = self.context_size * self.in_channels
+        if contexts.shape[-1] != expected:
+            raise ValueError(
+                f"contexts have {contexts.shape[-1]} features, expected c*d = {expected}"
+            )
+        if sp.issparse(contexts):
+            out = sparse_matmul(contexts, self.weight)
+        else:
+            if not isinstance(contexts, Tensor):
+                contexts = Tensor(contexts)
+            out = contexts @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def filters(self) -> np.ndarray:
+        """Return the filter bank reshaped to ``(out_channels, c, d)``.
+
+        Used by the Fig. 6b experiment, which inspects how filter weight mass
+        is distributed across context positions and attribute dimensions.
+        """
+        return self.weight.data.T.reshape(self.out_channels, self.context_size, self.in_channels)
+
+    def pool(self, features: Tensor, segment_ids: np.ndarray, num_nodes: int) -> Tensor:
+        """Average per-context features into per-node embeddings."""
+        return segment_mean(features, segment_ids, num_nodes)
+
+
+class GCNConv(Module):
+    """One spectral graph-convolution layer ``act(Â X W)`` [Kipf & Welling].
+
+    ``Â`` (the symmetrically normalised adjacency with self loops) is supplied
+    by the caller as a pre-computed scipy sparse matrix; the layer performs the
+    sparse propagation outside the autograd graph and differentiates through
+    the dense ``X W`` product, which is exact because ``Â`` is constant.
+    """
+
+    def __init__(self, in_features: int, out_features: int, seed=None):
+        self.linear = Linear(in_features, out_features, bias=False, seed=seed)
+
+    def forward(self, adj_norm, x) -> Tensor:
+        """``x`` may be a Tensor or a constant scipy sparse feature matrix
+        (bag-of-words attributes), in which case the ``X W`` product runs on
+        the sparse fast path."""
+        import scipy.sparse as sp
+
+        if sp.issparse(x):
+            support = sparse_matmul(x, self.linear.weight)
+        else:
+            support = self.linear(x)
+        propagated = adj_norm @ support.data
+
+        def backward(g):
+            return (adj_norm.T @ g,)
+
+        return Tensor._make(propagated, (support,), backward, "gcn_propagate")

@@ -1,0 +1,498 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A :class:`Tensor` records the operation that produced it and references to its
+parents; calling :meth:`Tensor.backward` on a scalar result walks the graph in
+reverse topological order and accumulates gradients into every tensor created
+with ``requires_grad=True``.
+
+Design notes
+------------
+* Data is stored as ``float64`` so that the finite-difference gradient checks
+  in the test suite are meaningful; the models in this repository are small
+  enough that the 2x memory cost over ``float32`` is irrelevant.
+* Broadcasting follows numpy semantics.  :func:`_unbroadcast` reduces an
+  upstream gradient back to a parent's shape by summing over the broadcast
+  axes, which is the transpose of the broadcast operation itself.
+* Gather (integer indexing of rows) backpropagates with ``np.add.at`` so that
+  repeated indices accumulate, matching the mathematics of an embedding
+  lookup.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (e.g. for inference)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def _grad_enabled() -> bool:
+    return _GRAD_ENABLED[-1]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to a ``float64`` numpy array.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __array_priority__ = 100  # make numpy defer to our __r*__ operators
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _grad_enabled()
+        self.grad = None
+        self._backward = None
+        self._parents = ()
+        self._op = "leaf"
+
+    # ------------------------------------------------------------------ repr
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op!r}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying data (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing this tensor's data."""
+        out = Tensor(self.data)
+        return out
+
+    def zero_grad(self):
+        self.grad = None
+
+    # ------------------------------------------------------- graph plumbing
+    @staticmethod
+    def _make(data, parents, backward, op):
+        out = Tensor(data)
+        if _grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray):
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1.0 and must be supplied for non-scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be specified for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.shape:
+                raise ValueError(f"grad shape {grad.shape} != tensor shape {self.shape}")
+
+        order = []
+        visited = set()
+
+        def visit(node):
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            order.append(node)
+
+        visit(self)
+        grads = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node._accumulate(node_grad)
+                continue
+            for parent, parent_grad in zip(node._parents, node._backward(node_grad)):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    # --------------------------------------------------------- arithmetic
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
+
+        return Tensor._make(data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(g):
+            return (-g,)
+
+        return Tensor._make(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other):
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g * other.data, self.shape),
+                _unbroadcast(g * self.data, other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g / other.data, self.shape),
+                _unbroadcast(-g * self.data / (other.data**2), other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other):
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(g):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward, "pow")
+
+    def __matmul__(self, other):
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(g):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
+                return (g * b, g * a)
+            if a.ndim == 1:  # (k,) @ (k, n)
+                return (g @ b.T, np.outer(a, g))
+            if b.ndim == 1:  # (m, k) @ (k,)
+                return (np.outer(g, b), a.T @ g)
+            return (g @ b.swapaxes(-1, -2), a.swapaxes(-1, -2) @ g)
+
+        return Tensor._make(data, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------- reshaping
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(g):
+            return (g.reshape(original),)
+
+        return Tensor._make(data, (self,), backward, "reshape")
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def transpose(self):
+        if self.ndim != 2:
+            raise ValueError("transpose() supports 2-D tensors only")
+        data = self.data.T
+
+        def backward(g):
+            return (g.T,)
+
+        return Tensor._make(data, (self,), backward, "transpose")
+
+    def __getitem__(self, index):
+        """Row gather.  ``index`` may be an int, slice, or integer array."""
+        if isinstance(index, Tensor):
+            index = index.data.astype(np.int64)
+        data = self.data[index]
+        shape = self.shape
+
+        def backward(g):
+            if (isinstance(index, np.ndarray) and index.ndim == 1
+                    and g.ndim == 2 and len(shape) == 2 and len(index) > 4096):
+                # Large fancy-index gathers (SGNS batches) scatter much faster
+                # as a sparse grouping matmul than via np.add.at.
+                import scipy.sparse as sp
+
+                selector = sp.csr_matrix(
+                    (np.ones(len(index)), (index, np.arange(len(index)))),
+                    shape=(shape[0], len(index)),
+                )
+                return (selector @ g,)
+            grad = np.zeros(shape, dtype=np.float64)
+            np.add.at(grad, index, g)
+            return (grad,)
+
+        return Tensor._make(data, (self,), backward, "getitem")
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, axis=None, keepdims: bool = False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, shape).copy(),)
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return (np.broadcast_to(g_expanded, shape).copy(),)
+
+        return Tensor._make(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            count = self.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / count
+
+    # ---------------------------------------------------------- elementwise
+    def exp(self):
+        data = np.exp(self.data)
+
+        def backward(g):
+            return (g * data,)
+
+        return Tensor._make(data, (self,), backward, "exp")
+
+    def log(self):
+        data = np.log(self.data)
+
+        def backward(g):
+            return (g / self.data,)
+
+        return Tensor._make(data, (self,), backward, "log")
+
+    def sqrt(self):
+        data = np.sqrt(self.data)
+
+        def backward(g):
+            return (g * 0.5 / data,)
+
+        return Tensor._make(data, (self,), backward, "sqrt")
+
+    def sigmoid(self):
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+
+        def backward(g):
+            return (g * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward, "sigmoid")
+
+    def log_sigmoid(self):
+        """Numerically stable ``log(sigmoid(x)) = -softplus(-x)``."""
+        x = self.data
+        data = -np.logaddexp(0.0, -x)
+
+        def backward(g):
+            # d/dx log sigmoid(x) = sigmoid(-x)
+            return (g / (1.0 + np.exp(np.clip(x, -500, 500))),)
+
+        return Tensor._make(data, (self,), backward, "log_sigmoid")
+
+    def tanh(self):
+        data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1.0 - data**2),)
+
+        return Tensor._make(data, (self,), backward, "tanh")
+
+    def relu(self):
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(g):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward, "relu")
+
+    def softplus(self):
+        data = np.logaddexp(0.0, self.data)
+
+        def backward(g):
+            return (g / (1.0 + np.exp(np.clip(-self.data, -500, 500))),)
+
+        return Tensor._make(data, (self,), backward, "softplus")
+
+    def clip(self, low: float, high: float):
+        """Clamp values; gradient passes only through the un-clipped region."""
+        mask = (self.data >= low) & (self.data <= high)
+        data = np.clip(self.data, low, high)
+
+        def backward(g):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward, "clip")
+
+
+def sparse_matmul(sparse_constant, dense: Tensor) -> Tensor:
+    """Product ``S @ W`` of a constant scipy sparse matrix with a tensor.
+
+    CoANE's attribute-context matrices are extremely sparse (a handful of
+    bag-of-words entries per context row), so the context convolution is far
+    cheaper as a sparse-dense product.  ``S`` carries no gradient; the
+    gradient w.r.t. ``W`` is ``S.T @ g``.
+    """
+    data = sparse_constant @ dense.data
+
+    def backward(g):
+        return (sparse_constant.T @ g,)
+
+    return Tensor._make(data, (dense,), backward, "sparse_matmul")
+
+
+def concat(tensors, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient splitting."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("concat() requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        return tuple(
+            np.take(g, np.arange(offsets[i], offsets[i + 1]), axis=axis)
+            for i in range(len(tensors))
+        )
+
+    return Tensor._make(data, tuple(tensors), backward, "concat")
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Stack equally-shaped tensors along a new axis."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("stack() requires at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(data, tuple(tensors), backward, "stack")
+
+
+def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Average rows of ``values`` that share a segment id.
+
+    This is CoANE's pooling layer: each node's per-context feature vectors
+    (rows of ``values``) are averaged into a single embedding row.  Segments
+    with no members produce a zero row.
+
+    Parameters
+    ----------
+    values:
+        Tensor of shape ``(rows, features)``.
+    segment_ids:
+        Integer array of length ``rows`` assigning each row to a segment.
+    num_segments:
+        Total number of output segments.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1 or len(segment_ids) != values.shape[0]:
+        raise ValueError("segment_ids must be 1-D with one id per row of values")
+    if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError("segment_ids out of range")
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+
+    sums = np.zeros((num_segments, values.shape[1]), dtype=np.float64)
+    np.add.at(sums, segment_ids, values.data)
+    data = sums / safe_counts[:, None]
+
+    def backward(g):
+        return ((g / safe_counts[:, None])[segment_ids],)
+
+    return Tensor._make(data, (values,), backward, "segment_mean")

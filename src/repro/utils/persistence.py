@@ -1,0 +1,59 @@
+"""Saving and loading trained embeddings with their provenance.
+
+A downstream user wants to train once and reuse the embedding matrix; these
+helpers persist the matrix together with the configuration and dataset
+fingerprint that produced it, so a loaded embedding is never silently applied
+to the wrong graph.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+
+def save_embeddings(path: str, embeddings: np.ndarray, metadata: dict = None):
+    """Write embeddings (+ JSON-serialisable metadata) to an ``.npz`` file."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError("embeddings must be a 2-D matrix")
+    payload = {"embeddings": embeddings}
+    if metadata is not None:
+        payload["metadata_json"] = np.array(json.dumps(metadata))
+    np.savez_compressed(path, **payload)
+
+
+def load_embeddings(path: str, expected_num_nodes: int = None) -> tuple:
+    """Load ``(embeddings, metadata)`` saved by :func:`save_embeddings`.
+
+    ``expected_num_nodes`` guards against applying embeddings to a graph of a
+    different size.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if "embeddings" not in archive:
+            raise ValueError(f"{path} is not an embeddings archive")
+        embeddings = archive["embeddings"]
+        metadata = None
+        if "metadata_json" in archive:
+            metadata = json.loads(str(archive["metadata_json"]))
+    if expected_num_nodes is not None and embeddings.shape[0] != expected_num_nodes:
+        raise ValueError(
+            f"embedding rows ({embeddings.shape[0]}) != expected nodes "
+            f"({expected_num_nodes})"
+        )
+    return embeddings, metadata
+
+
+def config_metadata(config) -> dict:
+    """JSON-safe snapshot of a :class:`~repro.core.CoANEConfig` (or any
+    dataclass-like object with ``__dict__``)."""
+    snapshot = {}
+    for key, value in vars(config).items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            snapshot[key] = value
+        elif isinstance(value, (list, tuple)) and not value:
+            snapshot[key] = list(value)
+        else:
+            snapshot[key] = repr(value)
+    return snapshot

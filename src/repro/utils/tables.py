@@ -1,0 +1,48 @@
+"""ASCII table and series rendering shared by the benchmark harness.
+
+The paper reports results as tables (Tables 1-5) and line plots (Figures 3-6).
+Without a display we print tables directly and plots as aligned
+``x -> y`` series so the shape (who wins, where curves cross) is readable in
+the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    rows = [list(row) for row in rows]
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+    widths = []
+    for j, header in enumerate(headers):
+        cells = [_cell(row[j], 0).strip() for row in rows]
+        widths.append(max([len(str(header))] + [len(c) for c in cells]))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(_cell(v, w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y") -> str:
+    """Render one plotted line as an aligned two-column series."""
+    if len(xs) != len(ys):
+        raise ValueError(f"xs and ys differ in length: {len(xs)} vs {len(ys)}")
+    rows = list(zip(xs, ys))
+    return format_table([x_label, y_label], rows, title=name)

@@ -1,0 +1,27 @@
+"""Wall-clock timing helper used by the runtime experiment (Fig. 4d)."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed = time.perf_counter() - self._start
+        return False

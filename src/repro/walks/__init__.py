@@ -1,0 +1,15 @@
+"""Random-walk substrate: walkers, context extraction, co-occurrence matrices."""
+
+from repro.walks.random_walk import Node2VecWalker, RandomWalker
+from repro.walks.contexts import PAD, ContextSet, extract_contexts
+from repro.walks.cooccurrence import CooccurrenceStats, build_cooccurrence
+
+__all__ = [
+    "RandomWalker",
+    "Node2VecWalker",
+    "PAD",
+    "ContextSet",
+    "extract_contexts",
+    "CooccurrenceStats",
+    "build_cooccurrence",
+]

@@ -1,0 +1,184 @@
+"""Context extraction from random-walk sequences (paper Sec. 3.1).
+
+A *context* is a window of ``c`` consecutive walk positions centred on a midst
+node; positions that fall off the ends of a walk are filled with the padding
+id :data:`PAD` (analogous to image padding for a CNN).  Windows whose midst
+node appears too frequently across all walks are discarded by word2vec-style
+subsampling, except windows at walk starts, which are always kept so every
+node retains at least one context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+#: Padding id marking empty window slots; padded slots contribute a zero
+#: attribute row to the attribute-context matrix.
+PAD = -1
+
+
+class ContextSet:
+    """All extracted contexts, grouped by midst node.
+
+    Attributes
+    ----------
+    windows:
+        ``(num_contexts, c)`` int array of node ids (:data:`PAD` for padding).
+    midst:
+        ``(num_contexts,)`` int array; ``midst[i]`` is the centre node of
+        ``windows[i]``.  Rows are sorted by midst node.
+    num_nodes:
+        Total number of nodes in the graph (isolated-in-walks nodes keep an
+        explicit zero count).
+    """
+
+    def __init__(self, windows: np.ndarray, midst: np.ndarray, num_nodes: int):
+        windows = np.asarray(windows, dtype=np.int64)
+        midst = np.asarray(midst, dtype=np.int64)
+        if windows.ndim != 2:
+            raise ValueError("windows must be 2-D (num_contexts, c)")
+        if len(windows) != len(midst):
+            raise ValueError("windows and midst lengths differ")
+        if windows.shape[1] % 2 == 0:
+            raise ValueError("context size must be odd")
+        order = np.argsort(midst, kind="stable")
+        self.windows = windows[order]
+        self.midst = midst[order]
+        self.num_nodes = int(num_nodes)
+        self._counts = np.bincount(self.midst, minlength=num_nodes)
+
+    @property
+    def context_size(self) -> int:
+        return self.windows.shape[1]
+
+    @property
+    def num_contexts(self) -> int:
+        return len(self.windows)
+
+    def counts(self) -> np.ndarray:
+        """``|context(v)|`` for every node ``v``."""
+        return self._counts
+
+    def max_count(self) -> int:
+        """``k_p = max_v |context(v)|`` — the latent neighborhood size used to
+        truncate the positive graph likelihood (paper Sec. 3.3.1)."""
+        return int(self._counts.max()) if self.num_contexts else 0
+
+    def contexts_of(self, node: int) -> np.ndarray:
+        """Windows whose midst is ``node`` (possibly empty)."""
+        left = np.searchsorted(self.midst, node, side="left")
+        right = np.searchsorted(self.midst, node, side="right")
+        return self.windows[left:right]
+
+    def sampling_distribution(self) -> np.ndarray:
+        """Contextual noise distribution ``P_V(v) ∝ |context(v)|`` used by
+        contextually negative sampling (paper Eq. 3)."""
+        total = self._counts.sum()
+        if total == 0:
+            return np.full(self.num_nodes, 1.0 / self.num_nodes)
+        return self._counts / total
+
+
+def extract_contexts(
+    walks: np.ndarray,
+    context_size: int,
+    num_nodes: int,
+    subsample_t: float = 1e-5,
+    seed=None,
+) -> ContextSet:
+    """Scan walks with a centred window and word2vec subsampling.
+
+    Parameters
+    ----------
+    walks:
+        ``(num_walks, length)`` array of node ids.
+    context_size:
+        Odd window width ``c``; the midst sits at position ``(c-1)/2``.
+    num_nodes:
+        Number of nodes in the graph.
+    subsample_t:
+        word2vec threshold ``t``: a window centred on ``v`` is kept with
+        probability ``min(1, sqrt(t / f(v)))`` where ``f(v)`` is ``v``'s
+        relative frequency over all walk positions.  Windows at position 0 of
+        each walk are always kept.
+    """
+    walks = np.asarray(walks, dtype=np.int64)
+    if walks.ndim != 2:
+        raise ValueError("walks must be 2-D (num_walks, length)")
+    if context_size < 1 or context_size % 2 == 0:
+        raise ValueError(f"context_size must be a positive odd number, got {context_size}")
+    if subsample_t <= 0:
+        raise ValueError("subsample_t must be positive")
+    rng = ensure_rng(seed)
+    num_walks, length = walks.shape
+    half = (context_size - 1) // 2
+
+    # Pad every walk with PAD on both sides, then slide the window.
+    padded = np.full((num_walks, length + 2 * half), PAD, dtype=np.int64)
+    padded[:, half:half + length] = walks
+
+    # Relative frequency of each node over all walk positions.
+    frequency = np.bincount(walks.ravel(), minlength=num_nodes).astype(np.float64)
+    frequency /= max(frequency.sum(), 1.0)
+
+    keep_probability = np.ones(num_nodes)
+    positive = frequency > 0
+    keep_probability[positive] = np.minimum(1.0, np.sqrt(subsample_t / frequency[positive]))
+
+    windows = []
+    midsts = []
+    for position in range(length):
+        centres = walks[:, position]
+        if position == 0:
+            keep = np.ones(num_walks, dtype=bool)
+        else:
+            keep = rng.random(num_walks) < keep_probability[centres]
+        if not keep.any():
+            continue
+        block = padded[keep, position:position + context_size]
+        windows.append(block)
+        midsts.append(centres[keep])
+    if windows:
+        all_windows = np.vstack(windows)
+        all_midsts = np.concatenate(midsts)
+    else:
+        all_windows = np.empty((0, context_size), dtype=np.int64)
+        all_midsts = np.empty(0, dtype=np.int64)
+    return ContextSet(all_windows, all_midsts, num_nodes)
+
+
+def attribute_context_matrices(context_set: ContextSet, attributes, sparse=None):
+    """Build the flattened attribute-context matrices ``R`` (paper Sec. 3.2).
+
+    Each window of node ids becomes the row-concatenation of its members'
+    attribute vectors — shape ``(num_contexts, c * d)`` — with :data:`PAD`
+    slots contributing zero rows.  The output feeds
+    :class:`repro.nn.ContextConv1d` directly.
+
+    Parameters
+    ----------
+    sparse:
+        ``True`` returns a scipy CSR matrix, ``False`` a dense array, ``None``
+        picks CSR when the attribute matrix has density below 10% (the
+        bag-of-words datasets), which makes the convolution a cheap
+        sparse-dense product.
+    """
+    import scipy.sparse as sp
+
+    attributes = np.asarray(attributes, dtype=np.float64)
+    num_contexts, c = context_set.windows.shape
+    d = attributes.shape[1]
+    if sparse is None:
+        density = np.count_nonzero(attributes) / max(attributes.size, 1)
+        sparse = density < 0.10
+    if sparse:
+        # One extra zero row at the end serves as the PAD embedding.
+        table = sp.vstack([sp.csr_matrix(attributes), sp.csr_matrix((1, d))]).tocsr()
+        indices = np.where(context_set.windows == PAD, attributes.shape[0], context_set.windows)
+        blocks = [table[indices[:, position]] for position in range(c)]
+        return sp.hstack(blocks, format="csr")
+    table = np.vstack([attributes, np.zeros((1, d))])
+    indices = np.where(context_set.windows == PAD, attributes.shape[0], context_set.windows)
+    return table[indices].reshape(num_contexts, c * d)

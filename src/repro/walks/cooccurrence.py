@@ -1,0 +1,92 @@
+"""Context co-occurrence matrices ``D`` and ``D1`` (paper Sec. 3.1, 3.3.1).
+
+``D[i, j]`` counts how often node ``j`` appears in the contexts of node ``i``;
+``D1`` keeps only the one-hop entries (``D1[i, j] = D[i, j]`` iff ``E[i, j] >
+0``).  The positive graph likelihood preserves ``D̃ = normalize(D) + D1``,
+truncated per row to the top-``k_p`` neighbors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.sparse import row_normalize
+from repro.walks.contexts import PAD, ContextSet
+
+
+@dataclass
+class CooccurrenceStats:
+    """Co-occurrence matrices plus the top-``k_p`` preservation targets."""
+
+    D: sp.csr_matrix
+    D1: sp.csr_matrix
+    D_tilde: sp.csr_matrix
+    kp: int
+    #: Per-node arrays of (neighbor ids, D̃ weights) for the top-k_p entries.
+    top_indices: list
+    top_weights: list
+
+    def pairs(self) -> tuple:
+        """Flatten the per-node targets into (rows, cols, weights) arrays."""
+        rows = np.concatenate(
+            [np.full(len(idx), i, dtype=np.int64) for i, idx in enumerate(self.top_indices)]
+        ) if self.top_indices else np.empty(0, dtype=np.int64)
+        cols = (np.concatenate(self.top_indices) if self.top_indices
+                else np.empty(0, dtype=np.int64))
+        weights = (np.concatenate(self.top_weights) if self.top_weights
+                   else np.empty(0, dtype=np.float64))
+        return rows, cols, weights
+
+
+def build_cooccurrence(context_set: ContextSet, graph: AttributedGraph) -> CooccurrenceStats:
+    """Count co-occurrences and compute the truncated preservation targets.
+
+    ``k_p = max_v |context(v)|`` (paper Sec. 3.3.1): the per-row truncation
+    keeps only the strongest co-occurring neighbors, suppressing the noisy
+    low-count entries that random walks produce on sparse graphs.
+    """
+    n = context_set.num_nodes
+    windows = context_set.windows
+    midst = context_set.midst
+    c = context_set.context_size
+    half = (c - 1) // 2
+
+    if len(windows):
+        # Count every non-pad, non-centre slot of every window.
+        centres = np.repeat(midst, c - 1)
+        slots = np.delete(windows, half, axis=1).ravel()
+        valid = (slots != PAD) & (slots != centres)
+        rows = centres[valid]
+        cols = slots[valid]
+        D = sp.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(n, n), dtype=np.float64
+        )
+        D.sum_duplicates()
+    else:
+        D = sp.csr_matrix((n, n), dtype=np.float64)
+
+    adjacency_mask = graph.adjacency.copy()
+    adjacency_mask.data = np.ones_like(adjacency_mask.data)
+    D1 = D.multiply(adjacency_mask).tocsr()
+
+    D_tilde = (row_normalize(D) + D1).tocsr()
+    kp = context_set.max_count()
+
+    top_indices = []
+    top_weights = []
+    indptr, indices, data = D_tilde.indptr, D_tilde.indices, D_tilde.data
+    for node in range(n):
+        row_cols = indices[indptr[node]:indptr[node + 1]]
+        row_vals = data[indptr[node]:indptr[node + 1]]
+        if len(row_cols) > kp > 0:
+            keep = np.argpartition(row_vals, -kp)[-kp:]
+            row_cols = row_cols[keep]
+            row_vals = row_vals[keep]
+        top_indices.append(row_cols.astype(np.int64))
+        top_weights.append(row_vals.astype(np.float64))
+    return CooccurrenceStats(D=D, D1=D1, D_tilde=D_tilde, kp=kp,
+                             top_indices=top_indices, top_weights=top_weights)

@@ -1,0 +1,32 @@
+"""Shared fixtures: small seeded graphs reused across the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import citation_graph, social_circle_graph
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """~120-node homophilous citation graph with 3 classes."""
+    return citation_graph(num_nodes=120, num_classes=3, num_attributes=60,
+                          avg_degree=4.0, homophily=0.8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """~40-node graph for the most expensive end-to-end tests."""
+    return citation_graph(num_nodes=40, num_classes=2, num_attributes=20,
+                          avg_degree=3.0, homophily=0.85, seed=3)
+
+
+@pytest.fixture(scope="session")
+def circle_graph():
+    """Social-circle graph (the Flickr-analog generator)."""
+    return social_circle_graph(num_nodes=150, num_classes=3, num_attributes=80,
+                               avg_degree=10.0, seed=5)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,213 @@
+"""Tests for the eleven baseline methods and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ANRL,
+    ARGA,
+    ARVGA,
+    ASNE,
+    DANE,
+    DeepWalk,
+    GAE,
+    GraphSAGE,
+    LINE,
+    Node2Vec,
+    STNE,
+    SpectralEmbedding,
+    VGAE,
+    all_methods,
+    make_method,
+)
+from repro.baselines.skipgram import SkipGramTrainer, walk_pairs
+from repro.eval import normalized_mutual_information, kmeans
+
+DIM = 16
+
+
+def _fast(cls, **kw):
+    """Instantiate a baseline with a budget small enough for unit tests."""
+    defaults = {
+        DeepWalk: dict(num_walks=2, walk_length=15, epochs=5),
+        Node2Vec: dict(num_walks=2, walk_length=15, epochs=5),
+        LINE: dict(epochs=8),
+        GAE: dict(epochs=15),
+        VGAE: dict(epochs=15),
+        ARGA: dict(epochs=10, discriminator_hidden=32),
+        ARVGA: dict(epochs=10, discriminator_hidden=32),
+        GraphSAGE: dict(epochs=10, hidden_dim=16, pairs_per_epoch=2000),
+        DANE: dict(epochs=12, hidden_dim=32),
+        ASNE: dict(epochs=12, id_dim=8, attr_dim=8),
+        STNE: dict(epochs=10, num_walks=1, walk_length=10),
+        ANRL: dict(epochs=10, hidden_dim=32, pairs_per_epoch=2000),
+        SpectralEmbedding: dict(),
+    }
+    kwargs = {"embedding_dim": DIM, "seed": 0}
+    kwargs.update(defaults[cls])
+    kwargs.update(kw)
+    return cls(**kwargs)
+
+
+ALL_CLASSES = [DeepWalk, Node2Vec, LINE, GAE, VGAE, ARGA, ARVGA, GraphSAGE,
+               DANE, ASNE, STNE, ANRL, SpectralEmbedding]
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_shape_and_finiteness(self, cls, small_graph):
+        Z = _fast(cls).fit_transform(small_graph)
+        assert Z.shape == (small_graph.num_nodes, DIM)
+        assert np.isfinite(Z).all()
+
+    @pytest.mark.parametrize("cls", [GAE, ASNE, DANE])
+    def test_deterministic_with_seed(self, cls, tiny_graph):
+        a = _fast(cls).fit_transform(tiny_graph)
+        b = _fast(cls).fit_transform(tiny_graph)
+        np.testing.assert_allclose(a, b)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            _fast(GAE).transform()
+
+
+class TestLearningSignal:
+    """Each trained method should separate the planted communities better
+    than chance (NMI of k-means on the embedding > 0.05)."""
+
+    @pytest.mark.parametrize("cls", [GAE, VGAE, GraphSAGE, ASNE, STNE, ANRL])
+    def test_attribute_methods_find_communities(self, cls, small_graph):
+        Z = _fast(cls).fit_transform(small_graph)
+        assignment = kmeans(Z, small_graph.num_labels, seed=0)
+        assert normalized_mutual_information(small_graph.labels, assignment) > 0.05
+
+    def test_training_loss_decreases(self, small_graph):
+        model = _fast(GAE, epochs=30)
+        model.fit(small_graph)
+        assert model.history_[-1] < model.history_[0]
+
+    def test_deepwalk_beats_noise(self, small_graph):
+        Z = _fast(DeepWalk, epochs=10).fit_transform(small_graph)
+        assignment = kmeans(Z, small_graph.num_labels, seed=0)
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=Z.shape)
+        noise_assignment = kmeans(noise, small_graph.num_labels, seed=0)
+        planted = normalized_mutual_information(small_graph.labels, assignment)
+        chance = normalized_mutual_information(small_graph.labels, noise_assignment)
+        assert planted > chance
+
+
+class TestSkipGram:
+    def test_walk_pairs_symmetric(self):
+        walks = np.array([[0, 1, 2]])
+        centers, contexts = walk_pairs(walks, window=1)
+        pairs = set(zip(centers.tolist(), contexts.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (1, 2) in pairs and (2, 1) in pairs
+
+    def test_walk_pairs_window_respected(self):
+        walks = np.array([[0, 1, 2, 3]])
+        centers, contexts = walk_pairs(walks, window=1)
+        distances = np.abs(centers - contexts)
+        assert (distances <= 1).all()
+
+    def test_trainer_pulls_cooccurring_nodes_together(self):
+        rng = np.random.default_rng(0)
+        # Two blocks {0..4}, {5..9}; pairs only within blocks.
+        within = [(i, j) for block in (range(5), range(5, 10))
+                  for i in block for j in block if i != j]
+        pairs = np.array(within * 40)
+        rng.shuffle(pairs)
+        trainer = SkipGramTrainer(10, 8, num_negative=3, seed=0)
+        trainer.train(pairs[:, 0], pairs[:, 1], epochs=30, batch_size=5000)
+        Z = trainer.embeddings()
+        Zn = Z / np.linalg.norm(Z, axis=1, keepdims=True)
+        sims = Zn @ Zn.T
+        block = np.zeros((10, 10), dtype=bool)
+        block[:5, :5] = block[5:, 5:] = True
+        np.fill_diagonal(block, False)
+        cross = ~block & ~np.eye(10, dtype=bool)
+        assert sims[block].mean() > sims[cross].mean() + 0.2
+
+    def test_empty_pairs_noop(self):
+        trainer = SkipGramTrainer(5, 4, seed=0)
+        trainer.train(np.empty(0, dtype=int), np.empty(0, dtype=int))
+        assert trainer.history_ == []
+
+    def test_mismatched_pairs_rejected(self):
+        trainer = SkipGramTrainer(5, 4, seed=0)
+        with pytest.raises(ValueError):
+            trainer.train(np.array([1]), np.array([1, 2]))
+
+
+class TestMethodSpecifics:
+    def test_vgae_inference_uses_mean(self, tiny_graph):
+        # Two fits with the same seed give identical embeddings because the
+        # final forward pass is deterministic (posterior mean).
+        a = _fast(VGAE, epochs=3).fit_transform(tiny_graph)
+        b = _fast(VGAE, epochs=3).fit_transform(tiny_graph)
+        np.testing.assert_allclose(a, b)
+
+    def test_arga_discriminator_affects_embeddings(self, tiny_graph):
+        plain = _fast(ARGA, epochs=5, adversarial_weight=0.0).fit_transform(tiny_graph)
+        adversarial = _fast(ARGA, epochs=5, adversarial_weight=5.0).fit_transform(tiny_graph)
+        assert np.abs(plain - adversarial).max() > 1e-6
+
+    def test_dane_embedding_is_concatenation(self, tiny_graph):
+        model = _fast(DANE, epochs=2)
+        Z = model.fit_transform(tiny_graph)
+        assert Z.shape[1] == DIM  # half structure + half attributes
+
+    def test_dane_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            DANE(embedding_dim=15)
+
+    def test_asne_dim_consistency(self):
+        with pytest.raises(ValueError):
+            ASNE(embedding_dim=16, id_dim=4, attr_dim=4, epochs=1, seed=0)
+
+    def test_line_requires_edges(self):
+        from repro.graph import AttributedGraph
+        empty = AttributedGraph(np.zeros((4, 4)), np.eye(4))
+        with pytest.raises(ValueError):
+            _fast(LINE).fit(empty)
+
+    def test_stne_caps_windows(self, small_graph):
+        model = _fast(STNE, max_windows_per_node=2, epochs=1)
+        model.fit(small_graph)
+
+    def test_spectral_orthogonal_columns(self, small_graph):
+        model = SpectralEmbedding(embedding_dim=8, seed=0)
+        Z = model.fit_transform(small_graph)
+        gram = Z.T @ Z
+        off_diagonal = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diagonal).max() < 1e-6
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        methods = all_methods()
+        assert methods[0] == "node2vec"
+        assert methods[-1] == "coane"
+        assert len(methods) == 12
+
+    def test_make_all_methods(self):
+        for name in all_methods():
+            estimator = make_method(name, embedding_dim=DIM, seed=0)
+            assert hasattr(estimator, "fit_transform")
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            make_method("word2vec")
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            make_method("gae", budget="huge")
+
+    def test_coane_adapter(self, tiny_graph):
+        adapter = make_method("coane", embedding_dim=DIM, seed=0)
+        adapter._estimator.config.epochs = 2
+        adapter._estimator.config.walk_length = 10
+        Z = adapter.fit_transform(tiny_graph)
+        assert Z.shape == (tiny_graph.num_nodes, DIM)
+        assert len(adapter.history_) == 2

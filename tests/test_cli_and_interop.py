@@ -1,0 +1,73 @@
+"""Tests for the CLI and the networkx interop."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, run
+from repro.graph import AttributedGraph, citation_graph
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        g = citation_graph(num_nodes=30, num_classes=2, num_attributes=6, seed=0)
+        nx_graph = g.to_networkx()
+        back = AttributedGraph.from_networkx(nx_graph, name="rt")
+        assert back.num_nodes == g.num_nodes
+        assert back.num_edges == g.num_edges
+        np.testing.assert_array_equal(back.attributes, g.attributes)
+        np.testing.assert_array_equal(back.labels, g.labels)
+
+    def test_to_networkx_carries_data(self):
+        g = citation_graph(num_nodes=10, num_classes=2, num_attributes=4, seed=1)
+        nx_graph = g.to_networkx()
+        assert nx_graph.number_of_nodes() == 10
+        assert "x" in nx_graph.nodes[0]
+        assert "y" in nx_graph.nodes[0]
+
+    def test_from_networkx_weights(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_node(0, x=[1.0])
+        nx_graph.add_node(1, x=[2.0])
+        nx_graph.add_edge(0, 1, weight=3.0)
+        g = AttributedGraph.from_networkx(nx_graph)
+        assert g.adjacency[0, 1] == 3.0
+        assert g.labels is None
+
+    def test_from_networkx_missing_attributes(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_node(0)
+        with pytest.raises(ValueError):
+            AttributedGraph.from_networkx(nx_graph)
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["--dataset", "cora"])
+        assert args.method == "coane"
+        assert args.task == "clustering"
+
+    def test_requires_data_source(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["--method", "coane"])
+
+    def test_clustering_run(self, capsys):
+        code = run(["--dataset", "webkb-cornell", "--scale", "0.4",
+                    "--method", "gae", "--task", "clustering", "--dim", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NMI" in out
+
+    def test_linqs_requires_name(self):
+        with pytest.raises(SystemExit):
+            run(["--linqs-dir", "/tmp"])
+
+    def test_linqs_roundtrip_run(self, tmp_path, capsys):
+        from repro.graph import write_linqs
+
+        g = citation_graph(num_nodes=60, num_classes=2, num_attributes=10, seed=0)
+        write_linqs(g, str(tmp_path), name="toy")
+        code = run(["--linqs-dir", str(tmp_path), "--linqs-name", "toy",
+                    "--method", "gae", "--task", "clustering", "--dim", "16"])
+        assert code == 0
+        assert "NMI" in capsys.readouterr().out

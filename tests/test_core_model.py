@@ -1,0 +1,240 @@
+"""Tests for the CoANE network, losses, and negative samplers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import CoANEConfig, CoANEModel, ContextualNegativeSampler, UniformNegativeSampler
+from repro.core.losses import (
+    attribute_preservation_loss,
+    contextual_negative_loss,
+    positive_graph_likelihood,
+    skipgram_positive,
+)
+from repro.nn import Tensor
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CoANEConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("embedding_dim", 7),        # odd
+        ("embedding_dim", 0),
+        ("context_size", 4),         # even
+        ("num_walks", 0),
+        ("walk_length", 0),
+        ("subsample_t", 0.0),
+        ("num_negative", -1),
+        ("negative_strength", -0.1),
+        ("gamma", -1.0),
+        ("sampling", "offline"),
+        ("epochs", 0),
+        ("learning_rate", 0.0),
+        ("batch_size", 0),
+        ("positive_mode", "bogus"),
+        ("negative_mode", "bogus"),
+        ("extractor", "transformer"),
+        ("context_source", "bfs"),
+    ])
+    def test_invalid_settings_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            CoANEConfig(**{field: value}).validate()
+
+    def test_auto_sampling_by_density(self):
+        cfg = CoANEConfig(sampling="auto")
+        assert cfg.resolve_sampling(0.02) == "pre"    # dense (WebKB/Flickr regime)
+        assert cfg.resolve_sampling(0.001) == "batch"  # sparse citation regime
+
+    def test_explicit_sampling_respected(self):
+        assert CoANEConfig(sampling="pre").resolve_sampling(0.0001) == "pre"
+
+
+class TestModel:
+    def test_embed_shape(self):
+        model = CoANEModel(num_attributes=6, embedding_dim=8, context_size=3, seed=0)
+        contexts = np.random.default_rng(0).normal(size=(5, 18))
+        ids = np.array([0, 0, 1, 2, 2])
+        z = model.embed(Tensor(contexts), ids, 4)
+        assert z.shape == (4, 8)
+        np.testing.assert_array_equal(z.data[3], 0.0)  # node without contexts
+
+    def test_split_lr_partitions_columns(self):
+        z = Tensor(np.arange(8, dtype=float).reshape(2, 4))
+        left, right = CoANEModel.split_lr(z)
+        np.testing.assert_allclose(left.data, [[0, 1], [4, 5]])
+        np.testing.assert_allclose(right.data, [[2, 3], [6, 7]])
+
+    def test_split_lr_gradients_flow(self):
+        z = Tensor(np.ones((2, 4)), requires_grad=True)
+        left, right = CoANEModel.split_lr(z)
+        (left.sum() + right.sum() * 2.0).backward()
+        np.testing.assert_allclose(z.grad, [[1, 1, 2, 2], [1, 1, 2, 2]])
+
+    def test_reconstruct_shape(self):
+        model = CoANEModel(num_attributes=6, embedding_dim=8, context_size=3,
+                           decoder_hidden=16, seed=0)
+        out = model.reconstruct(Tensor(np.zeros((3, 8))))
+        assert out.shape == (3, 6)
+
+    def test_filters_shape(self):
+        model = CoANEModel(num_attributes=6, embedding_dim=8, context_size=3, seed=0)
+        assert model.filters().shape == (8, 3, 6)
+
+    def test_fc_extractor_position_invariant(self):
+        model = CoANEModel(num_attributes=4, embedding_dim=6, context_size=3,
+                           extractor="fc", seed=0)
+        rng = np.random.default_rng(0)
+        window = rng.normal(size=(3, 4))
+        flat = window.reshape(1, 12)
+        shuffled = window[[2, 0, 1]].reshape(1, 12)
+        out1 = model.encoder(Tensor(flat))
+        out2 = model.encoder(Tensor(shuffled))
+        np.testing.assert_allclose(out1.data, out2.data, atol=1e-12)
+
+    def test_conv_extractor_position_sensitive(self):
+        model = CoANEModel(num_attributes=4, embedding_dim=6, context_size=3,
+                           extractor="conv", seed=0)
+        rng = np.random.default_rng(0)
+        window = rng.normal(size=(3, 4))
+        out1 = model.encoder(Tensor(window.reshape(1, 12)))
+        out2 = model.encoder(Tensor(window[[2, 0, 1]].reshape(1, 12)))
+        assert np.abs(out1.data - out2.data).max() > 1e-6
+
+    def test_odd_embedding_dim_rejected(self):
+        with pytest.raises(ValueError):
+            CoANEModel(num_attributes=4, embedding_dim=7, context_size=3)
+
+
+class TestLosses:
+    def test_positive_likelihood_decreases_with_alignment(self):
+        rows = np.array([0])
+        cols = np.array([1])
+        weights = np.array([1.0])
+        aligned = positive_graph_likelihood(
+            Tensor(np.array([[5.0], [0.0]])), Tensor(np.array([[0.0], [5.0]])),
+            rows, cols, weights, 2)
+        opposed = positive_graph_likelihood(
+            Tensor(np.array([[5.0], [0.0]])), Tensor(np.array([[0.0], [-5.0]])),
+            rows, cols, weights, 2)
+        assert aligned.item() < opposed.item()
+
+    def test_positive_likelihood_weighting(self):
+        rows, cols = np.array([0]), np.array([1])
+        left = Tensor(np.array([[1.0], [0.0]]))
+        right = Tensor(np.array([[0.0], [1.0]]))
+        light = positive_graph_likelihood(left, right, rows, cols, np.array([1.0]), 1)
+        heavy = positive_graph_likelihood(left, right, rows, cols, np.array([3.0]), 1)
+        assert heavy.item() == pytest.approx(3 * light.item())
+
+    def test_positive_likelihood_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        loss = positive_graph_likelihood(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))),
+                                         empty, empty, np.empty(0), 2)
+        assert loss.item() == 0.0
+
+    def test_skipgram_is_unweighted(self):
+        rows, cols = np.array([0, 0]), np.array([1, 1])
+        left = Tensor(np.array([[1.0], [0.0]]))
+        right = Tensor(np.array([[0.0], [1.0]]))
+        double = skipgram_positive(left, right, rows, cols, 1)
+        single = skipgram_positive(left, right, rows[:1], cols[:1], 1)
+        assert double.item() == pytest.approx(2 * single.item())
+
+    def test_negative_loss_mean_over_samples(self):
+        z = Tensor(np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 0.0]]))
+        one = contextual_negative_loss(z, np.array([0]), np.array([[1]]), 1.0, 1)
+        two = contextual_negative_loss(z, np.array([0]), np.array([[1, 2]]), 1.0, 1)
+        assert one.item() == pytest.approx(two.item())  # expectation, not sum
+
+    def test_negative_loss_zero_when_orthogonal(self):
+        z = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        loss = contextual_negative_loss(z, np.array([0]), np.array([[1]]), 1.0, 1)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_negative_loss_disabled(self):
+        z = Tensor(np.ones((2, 2)))
+        assert contextual_negative_loss(z, np.array([0]), np.empty((1, 0), dtype=int), 1.0, 1).item() == 0.0
+        assert contextual_negative_loss(z, np.array([0]), np.array([[1]]), 0.0, 1).item() == 0.0
+
+    def test_attribute_loss_scaling(self):
+        recon = Tensor(np.zeros((2, 3)))
+        target = np.ones((2, 3))
+        assert attribute_preservation_loss(recon, target, 2.0).item() == pytest.approx(2.0)
+        assert attribute_preservation_loss(recon, target, 0.0).item() == 0.0
+
+
+def _d_matrix():
+    """Co-occurrence rows: node 0 co-occurs with 1; node 1 with 0, 2; node 2 with 1."""
+    D = sp.csr_matrix(np.array([
+        [0, 3.0, 0, 0],
+        [3.0, 0, 1.0, 0],
+        [0, 1.0, 0, 0],
+        [0, 0, 0, 0],
+    ]))
+    return D
+
+
+class TestNegativeSamplers:
+    def test_contextual_excludes_context_members(self):
+        D = _d_matrix()
+        counts = np.array([2, 3, 1, 4])
+        sampler = ContextualNegativeSampler(D, counts, num_negative=2, mode="pre", seed=0)
+        samples = sampler.sample(np.array([0, 1, 2, 3]))
+        assert samples.shape == (4, 2)
+        # Node 0's context = {1}; negatives must avoid 0 and 1.
+        assert not np.isin(samples[0], [0, 1]).any()
+        # Node 1's context = {0, 2}; negatives must be 3.
+        assert (samples[1] == 3).all()
+
+    def test_batch_mode_samples_within_batch(self):
+        D = _d_matrix()
+        counts = np.array([2, 3, 1, 4])
+        sampler = ContextualNegativeSampler(D, counts, num_negative=1, mode="batch", seed=0)
+        batch = np.array([0, 2, 3])
+        samples = sampler.sample(batch)
+        assert np.isin(samples, batch).all()
+
+    def test_adjacency_exclusion(self):
+        D = sp.csr_matrix((4, 4))
+        adjacency = sp.csr_matrix(np.array([
+            [0, 1.0, 1.0, 0],
+            [1.0, 0, 0, 0],
+            [1.0, 0, 0, 0],
+            [0, 0, 0, 0],
+        ]))
+        sampler = ContextualNegativeSampler(D, np.ones(4), num_negative=1,
+                                            mode="pre", adjacency=adjacency, seed=0)
+        samples = sampler.sample(np.array([0] * 20))
+        assert not np.isin(samples, [0, 1, 2]).any()
+
+    def test_contextual_probability_prefers_heavy_nodes(self):
+        D = sp.csr_matrix((5, 5))
+        counts = np.array([0, 0, 0, 1, 99])
+        sampler = ContextualNegativeSampler(D, counts, num_negative=1, mode="pre",
+                                            pool_size=2000, seed=0)
+        samples = sampler.sample(np.arange(3))
+        # node 4 dominates the pool
+        assert (samples == 4).mean() > 0.7
+
+    def test_uniform_sampler_excludes_context(self):
+        D = _d_matrix()
+        sampler = UniformNegativeSampler(D, num_negative=2, seed=0)
+        samples = sampler.sample(np.array([1] * 10))
+        assert not np.isin(samples, [0, 1, 2]).any()
+
+    def test_zero_negatives(self):
+        sampler = UniformNegativeSampler(_d_matrix(), num_negative=0, seed=0)
+        assert sampler.sample(np.array([0, 1])).shape == (2, 0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ContextualNegativeSampler(_d_matrix(), np.ones(4), 2, mode="nope")
+
+    def test_degenerate_full_context_falls_back(self):
+        # Every node co-occurs with every other: complement is empty, the
+        # sampler must still return something rather than loop forever.
+        D = sp.csr_matrix(np.ones((3, 3)))
+        sampler = ContextualNegativeSampler(D, np.ones(3), num_negative=2, mode="pre", seed=0)
+        samples = sampler.sample(np.array([0]))
+        assert samples.shape == (1, 2)

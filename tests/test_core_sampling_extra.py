@@ -1,0 +1,70 @@
+"""Deeper tests of negative-sampling behaviour and the trainer's use of it."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import CoANE, CoANEConfig, ContextualNegativeSampler
+from repro.core.negative_sampling import _context_membership
+
+
+class TestMembershipMatrix:
+    def test_diagonal_always_excluded(self):
+        D = sp.csr_matrix((4, 4))
+        mask = _context_membership(D)
+        np.testing.assert_array_equal(mask.diagonal(), np.ones(4))
+
+    def test_context_and_adjacency_union(self):
+        D = sp.csr_matrix(np.array([[0, 1.0, 0], [0, 0, 0], [0, 0, 0]]))
+        adjacency = sp.csr_matrix(np.array([[0, 0, 1.0], [0, 0, 0], [1.0, 0, 0]]))
+        mask = np.asarray(_context_membership(D, adjacency).todense())
+        assert mask[0, 1] == 1  # from D
+        assert mask[0, 2] == 1  # from adjacency
+        assert mask[1, 2] == 0
+
+    def test_values_capped_at_one(self):
+        D = sp.csr_matrix(np.array([[0, 5.0], [5.0, 0]]))
+        mask = _context_membership(D, D)
+        assert mask.data.max() == 1.0
+
+
+class TestPreSamplingPool:
+    def test_pool_respects_distribution(self):
+        D = sp.csr_matrix((6, 6))
+        counts = np.array([0.0, 0, 0, 0, 1, 9])
+        sampler = ContextualNegativeSampler(D, counts, num_negative=1, mode="pre",
+                                            pool_size=5000, seed=0)
+        pool_fraction = (sampler._pool == 5).mean()
+        assert 0.8 < pool_fraction < 1.0
+
+    def test_repeated_queries_consistent_pool(self):
+        D = sp.csr_matrix((5, 5))
+        sampler = ContextualNegativeSampler(D, np.ones(5), num_negative=2,
+                                            mode="pre", seed=0)
+        first = sampler._pool.copy()
+        sampler.sample(np.arange(5))
+        np.testing.assert_array_equal(sampler._pool, first)  # pool is offline/fixed
+
+
+class TestTrainerNegativeCache:
+    def test_full_batch_negatives_fixed_across_epochs(self, tiny_graph):
+        model = CoANE(CoANEConfig(embedding_dim=8, epochs=3, walk_length=10,
+                                  decoder_hidden=8, seed=0, negative_strength=0.1))
+        model.fit(tiny_graph)
+        assert model._negative_cache is not None
+        assert model._negative_cache.shape[1] == model.config.num_negative
+
+    def test_cache_reset_between_fits(self, tiny_graph):
+        model = CoANE(CoANEConfig(embedding_dim=8, epochs=2, walk_length=10,
+                                  decoder_hidden=8, seed=0))
+        model.fit(tiny_graph)
+        first = model._negative_cache
+        model.fit(tiny_graph)
+        # A fresh fit rebuilds the cache object (values identical by seeding).
+        assert model._negative_cache is not first
+
+    def test_sampling_mode_follows_density(self, tiny_graph, circle_graph):
+        sparse_cfg = CoANEConfig(sampling="auto")
+        assert sparse_cfg.resolve_sampling(tiny_graph.density) == "pre" \
+            if tiny_graph.density >= 0.005 else "batch"
+        dense_mode = sparse_cfg.resolve_sampling(circle_graph.density)
+        assert dense_mode in ("pre", "batch")

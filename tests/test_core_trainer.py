@@ -1,0 +1,124 @@
+"""End-to-end tests of the CoANE estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoANE, CoANEConfig
+
+
+def _fast_config(**overrides):
+    base = dict(embedding_dim=16, epochs=5, walk_length=20, num_walks=1,
+                decoder_hidden=16, seed=0)
+    base.update(overrides)
+    return CoANEConfig(**base)
+
+
+class TestFit:
+    def test_embedding_shape(self, small_graph):
+        Z = CoANE(_fast_config()).fit_transform(small_graph)
+        assert Z.shape == (small_graph.num_nodes, 16)
+        assert np.isfinite(Z).all()
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CoANE(_fast_config()).transform()
+
+    def test_history_recorded(self, small_graph):
+        model = CoANE(_fast_config(epochs=4)).fit(small_graph)
+        assert len(model.history_) == 4
+        assert {"loss", "positive", "negative", "attribute", "epoch"} <= set(model.history_[0])
+
+    def test_loss_decreases(self, small_graph):
+        model = CoANE(_fast_config(epochs=15)).fit(small_graph)
+        first = np.mean([h["loss"] for h in model.history_[:3]])
+        last = np.mean([h["loss"] for h in model.history_[-3:]])
+        assert last < first
+
+    def test_seeded_determinism(self, small_graph):
+        a = CoANE(_fast_config()).fit_transform(small_graph)
+        b = CoANE(_fast_config()).fit_transform(small_graph)
+        np.testing.assert_array_equal(a, b)
+
+    def test_embeddings_separate_classes(self, small_graph):
+        Z = CoANE(_fast_config(epochs=20)).fit_transform(small_graph)
+        norms = np.linalg.norm(Z, axis=1, keepdims=True)
+        cosine = (Z / np.maximum(norms, 1e-12)) @ (Z / np.maximum(norms, 1e-12)).T
+        same = small_graph.labels[:, None] == small_graph.labels[None, :]
+        np.fill_diagonal(same, False)
+        off = ~same & ~np.eye(len(Z), dtype=bool)
+        assert cosine[same].mean() > cosine[off].mean() + 0.05
+
+    def test_overrides_via_kwargs(self, tiny_graph):
+        model = CoANE(embedding_dim=8, epochs=2, walk_length=10, decoder_hidden=8, seed=1)
+        Z = model.fit_transform(tiny_graph)
+        assert Z.shape == (tiny_graph.num_nodes, 8)
+
+    def test_inspection_attributes(self, tiny_graph):
+        model = CoANE(_fast_config(epochs=2)).fit(tiny_graph)
+        assert model.model_ is not None
+        assert model.context_set_.num_nodes == tiny_graph.num_nodes
+        assert model.cooccurrence_.kp >= 1
+
+
+class TestAblationSwitches:
+    def test_positive_off(self, tiny_graph):
+        model = CoANE(_fast_config(epochs=2, positive_mode="off")).fit(tiny_graph)
+        assert all(h["positive"] == 0.0 for h in model.history_)
+
+    def test_skipgram_positive(self, tiny_graph):
+        model = CoANE(_fast_config(epochs=2, positive_mode="skipgram")).fit(tiny_graph)
+        assert model.history_[0]["positive"] > 0.0
+
+    def test_negative_off(self, tiny_graph):
+        model = CoANE(_fast_config(epochs=2, negative_mode="off")).fit(tiny_graph)
+        assert all(h["negative"] == 0.0 for h in model.history_)
+
+    def test_uniform_negative(self, tiny_graph):
+        model = CoANE(_fast_config(epochs=2, negative_mode="uniform",
+                                   negative_strength=0.1)).fit(tiny_graph)
+        assert any(h["negative"] > 0.0 for h in model.history_)
+
+    def test_without_attribute_input(self, tiny_graph):
+        # WF ablation: identity attributes instead of X.
+        Z = CoANE(_fast_config(epochs=2, use_attribute_input=False)).fit_transform(tiny_graph)
+        assert Z.shape == (tiny_graph.num_nodes, 16)
+
+    def test_without_attribute_preservation(self, tiny_graph):
+        model = CoANE(_fast_config(epochs=2, gamma=0.0)).fit(tiny_graph)
+        assert all(h["attribute"] == 0.0 for h in model.history_)
+
+    def test_fc_extractor(self, tiny_graph):
+        Z = CoANE(_fast_config(epochs=2, extractor="fc")).fit_transform(tiny_graph)
+        assert Z.shape == (tiny_graph.num_nodes, 16)
+
+    def test_onehop_contexts(self, tiny_graph):
+        model = CoANE(_fast_config(epochs=2, context_source="onehop")).fit(tiny_graph)
+        # Every node must have at least one context in one-hop mode.
+        assert (model.context_set_.counts() >= 1).all()
+
+
+class TestBatchTraining:
+    def test_mini_batch_runs_and_matches_shape(self, small_graph):
+        Z = CoANE(_fast_config(epochs=3, batch_size=32)).fit_transform(small_graph)
+        assert Z.shape == (small_graph.num_nodes, 16)
+        assert np.isfinite(Z).all()
+
+    def test_mini_batch_learns(self, small_graph):
+        model = CoANE(_fast_config(epochs=10, batch_size=48)).fit(small_graph)
+        Z = model.transform()
+        norms = np.linalg.norm(Z, axis=1, keepdims=True)
+        cosine = (Z / np.maximum(norms, 1e-12)) @ (Z / np.maximum(norms, 1e-12)).T
+        same = small_graph.labels[:, None] == small_graph.labels[None, :]
+        np.fill_diagonal(same, False)
+        off = ~same & ~np.eye(len(Z), dtype=bool)
+        assert cosine[same].mean() > cosine[off].mean()
+
+
+class TestHooks:
+    def test_history_hooks_called_each_epoch(self, tiny_graph):
+        snapshots = []
+        cfg = _fast_config(epochs=3)
+        cfg.history_hooks.append(lambda epoch, Z: snapshots.append((epoch, Z.shape)))
+        CoANE(cfg).fit(tiny_graph)
+        assert [s[0] for s in snapshots] == [0, 1, 2]
+        assert all(shape == (tiny_graph.num_nodes, 16) for _, shape in snapshots)

@@ -1,0 +1,108 @@
+"""Metric tests pinned against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.eval import accuracy, auc_score, f1_scores, normalized_mutual_information
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestF1:
+    def test_perfect_prediction(self):
+        scores = f1_scores([0, 1, 2], [0, 1, 2])
+        assert scores["macro"] == 1.0
+        assert scores["micro"] == 1.0
+
+    def test_hand_computed_binary(self):
+        # TP=2, FP=1, FN=1 for class 1 -> F1 = 2*2/(2*2+1+1) = 0.666...
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        scores = f1_scores(y_true, y_pred)
+        f1_class1 = 4 / 6
+        f1_class0 = 2 * 1 / (2 * 1 + 1 + 1)
+        assert scores["macro"] == pytest.approx((f1_class0 + f1_class1) / 2)
+
+    def test_micro_equals_accuracy_single_label(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, 50)
+        y_pred = rng.integers(0, 4, 50)
+        assert f1_scores(y_true, y_pred)["micro"] == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_missing_class_counts_as_zero(self):
+        # Class 2 never predicted nor true-positive -> macro pulled down.
+        scores = f1_scores([0, 0, 2], [0, 0, 0])
+        assert scores["macro"] < 0.5
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reversed_ranking(self):
+        assert auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_ranking_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert abs(auc_score(labels, scores) - 0.5) < 0.05
+
+    def test_ties_averaged(self):
+        # All scores equal -> AUC exactly 0.5.
+        assert auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_hand_computed(self):
+        # pairs: (pos=0.7 vs neg 0.6, 0.8) -> wins 1 of 2 -> AUC 0.5
+        assert auc_score([1, 0, 0], [0.7, 0.6, 0.8]) == pytest.approx(0.5)
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            auc_score([1, 1], [0.1, 0.2])
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [5, 5, 9, 9]) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 5000)
+        b = rng.integers(0, 2, 5000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_single_cluster_prediction(self):
+        assert normalized_mutual_information([0, 1, 0, 1], [0, 0, 0, 0]) == 0.0
+
+    def test_permutation_invariant(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [2, 2, 0, 0, 1, 1]
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_hand_computed_half_overlap(self):
+        # Contingency [[2,0],[1,1]]: known NMI value ~ 0.34512
+        value = normalized_mutual_information([0, 0, 1, 1], [0, 0, 0, 1])
+        h_true = -(0.5 * np.log(0.5)) * 2
+        h_pred = -(0.75 * np.log(0.75) + 0.25 * np.log(0.25))
+        mi = (0.5 * np.log(0.5 / (0.5 * 0.75))
+              + 0.25 * np.log(0.25 / (0.5 * 0.75))
+              + 0.25 * np.log(0.25 / (0.5 * 0.25)))
+        assert value == pytest.approx(mi / (0.5 * (h_true + h_pred)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([0, 1], [0])

@@ -1,0 +1,78 @@
+"""Tests for the high-level evaluation runners."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    evaluate_classification,
+    evaluate_clustering,
+    evaluate_link_prediction,
+)
+
+
+def _oracle_embeddings(graph, noise=0.05, seed=0):
+    """Near-perfect embeddings: one-hot labels plus noise."""
+    rng = np.random.default_rng(seed)
+    k = graph.num_labels
+    return np.eye(k)[graph.labels] + rng.normal(scale=noise, size=(graph.num_nodes, k))
+
+
+class TestClassificationRunner:
+    def test_oracle_scores_high(self, small_graph):
+        Z = _oracle_embeddings(small_graph)
+        results = evaluate_classification(Z, small_graph.labels,
+                                          train_ratios=(0.2,), num_repeats=2, seed=0)
+        assert results[0.2]["macro"] > 0.9
+
+    def test_noise_scores_low(self, small_graph):
+        rng = np.random.default_rng(0)
+        Z = rng.normal(size=(small_graph.num_nodes, 8))
+        results = evaluate_classification(Z, small_graph.labels,
+                                          train_ratios=(0.5,), num_repeats=2, seed=0)
+        assert results[0.5]["macro"] < 0.6
+
+    def test_multiple_ratios_keys(self, small_graph):
+        Z = _oracle_embeddings(small_graph)
+        results = evaluate_classification(Z, small_graph.labels,
+                                          train_ratios=(0.05, 0.5), num_repeats=1, seed=0)
+        assert set(results) == {0.05, 0.5}
+
+    def test_repeats_average_deterministic(self, small_graph):
+        Z = _oracle_embeddings(small_graph)
+        a = evaluate_classification(Z, small_graph.labels, train_ratios=(0.2,),
+                                    num_repeats=3, seed=1)
+        b = evaluate_classification(Z, small_graph.labels, train_ratios=(0.2,),
+                                    num_repeats=3, seed=1)
+        assert a == b
+
+
+class TestClusteringRunner:
+    def test_oracle_near_one(self, small_graph):
+        nmi = evaluate_clustering(_oracle_embeddings(small_graph),
+                                  small_graph.labels, num_repeats=2, seed=0)
+        assert nmi > 0.9
+
+    def test_noise_near_zero(self, small_graph):
+        rng = np.random.default_rng(0)
+        nmi = evaluate_clustering(rng.normal(size=(small_graph.num_nodes, 8)),
+                                  small_graph.labels, num_repeats=2, seed=0)
+        assert nmi < 0.2
+
+
+class TestLinkPredictionRunner:
+    def test_embed_fn_receives_train_graph(self, small_graph):
+        seen = {}
+
+        def embed(train_graph):
+            seen["edges"] = train_graph.num_edges
+            return _oracle_embeddings(small_graph)
+
+        evaluate_link_prediction(embed, small_graph, seed=0)
+        assert seen["edges"] < small_graph.num_edges  # 70% split applied
+
+    def test_returns_requested_phases(self, small_graph):
+        result = evaluate_link_prediction(
+            lambda g: _oracle_embeddings(small_graph), small_graph,
+            seed=0, phases=("train", "val", "test"))
+        assert set(result) == {"train", "val", "test"}
+        assert all(0.0 <= v <= 1.0 for v in result.values())

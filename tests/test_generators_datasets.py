@@ -1,0 +1,141 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    citation_graph,
+    dataset_names,
+    load_dataset,
+    social_circle_graph,
+    summarize_datasets,
+    webkb_like_graph,
+)
+from repro.graph.datasets import PAPER_STATS, WEBKB_NETWORKS
+
+
+def _edge_homophily(graph):
+    edges = graph.edge_list()
+    return float((graph.labels[edges[:, 0]] == graph.labels[edges[:, 1]]).mean())
+
+
+class TestCitationGenerator:
+    def test_basic_shape(self):
+        g = citation_graph(num_nodes=200, num_classes=4, num_attributes=50, seed=0)
+        assert g.num_nodes == 200
+        assert g.num_attributes == 50
+        assert g.num_labels == 4
+
+    def test_connected(self):
+        g = citation_graph(num_nodes=150, num_classes=3, num_attributes=30, seed=1)
+        n_components, _ = sp.csgraph.connected_components(g.adjacency, directed=False)
+        assert n_components == 1
+
+    def test_homophily_is_controllable(self):
+        high = citation_graph(120, 3, 30, homophily=0.9, seed=2)
+        low = citation_graph(120, 3, 30, homophily=0.2, seed=2)
+        assert _edge_homophily(high) > _edge_homophily(low) + 0.2
+
+    def test_average_degree_near_target(self):
+        g = citation_graph(num_nodes=300, num_classes=3, num_attributes=30,
+                           avg_degree=6.0, seed=3)
+        assert 4.0 < g.degrees().mean() < 8.0
+
+    def test_attributes_binary_and_label_correlated(self):
+        g = citation_graph(200, 4, 100, attribute_signal=0.9, seed=4)
+        assert set(np.unique(g.attributes)) <= {0.0, 1.0}
+        # Same-class attribute overlap should beat cross-class overlap.
+        x = g.attributes
+        overlap = x @ x.T
+        same = g.labels[:, None] == g.labels[None, :]
+        np.fill_diagonal(same, False)
+        off_diag = ~same & ~np.eye(len(x), dtype=bool)
+        assert overlap[same].mean() > overlap[off_diag].mean() * 1.5
+
+    def test_seeded_determinism(self):
+        a = citation_graph(100, 3, 20, seed=9)
+        b = citation_graph(100, 3, 20, seed=9)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        np.testing.assert_array_equal(a.attributes, b.attributes)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_every_class_present(self):
+        g = citation_graph(50, 7, 20, seed=5)
+        assert g.num_labels == 7
+
+    def test_rejects_bad_homophily(self):
+        with pytest.raises(ValueError):
+            citation_graph(50, 2, 10, homophily=1.5)
+
+    def test_rejects_more_classes_than_nodes(self):
+        with pytest.raises(ValueError):
+            citation_graph(3, 5, 10)
+
+
+class TestSocialCircleGenerator:
+    def test_denser_than_citation(self):
+        g = social_circle_graph(150, 3, 40, avg_degree=12.0, seed=0)
+        assert g.degrees().mean() > 8.0
+
+    def test_connected_and_labelled(self):
+        g = social_circle_graph(100, 4, 30, seed=1)
+        n_components, _ = sp.csgraph.connected_components(g.adjacency, directed=False)
+        assert n_components == 1
+        assert g.num_labels == 4
+
+    def test_homophilous_via_circles(self):
+        g = social_circle_graph(200, 3, 30, circle_affinity=0.9, seed=2)
+        assert _edge_homophily(g) > 0.5
+
+
+class TestWebKBGenerator:
+    def test_low_homophily(self):
+        g = webkb_like_graph(num_nodes=200, seed=0)
+        assert _edge_homophily(g) < 0.55
+
+    def test_paper_like_dimensions(self):
+        g = webkb_like_graph(num_nodes=195, seed=1)
+        assert g.num_attributes == 1703
+        assert g.num_labels == 5
+
+
+class TestDatasetRegistry:
+    def test_names_cover_paper_table1(self):
+        assert set(dataset_names()) == set(PAPER_STATS)
+
+    def test_webkb_networks_registered(self):
+        for name in WEBKB_NETWORKS:
+            assert name in dataset_names()
+
+    @pytest.mark.parametrize("name", ["cora", "citeseer", "pubmed", "flickr"])
+    def test_attribute_dim_and_classes(self, name):
+        g = load_dataset(name, seed=0, scale=0.1)
+        paper = PAPER_STATS[name]
+        assert g.num_labels == paper.labels
+        if name != "flickr":  # flickr's attribute dim is scaled down
+            assert g.num_attributes == paper.attributes
+
+    def test_scale_changes_node_count(self):
+        small = load_dataset("cora", seed=0, scale=0.1)
+        large = load_dataset("cora", seed=0, scale=0.5)
+        assert small.num_nodes < large.num_nodes
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=0.0)
+
+    def test_summary_rows(self):
+        rows = summarize_datasets(seed=0, scale=0.1, names=["cora"])
+        assert rows[0]["name"] == "cora"
+        assert rows[0]["paper"].nodes == 2708
+        assert rows[0]["labels"] == 7
+
+    def test_webkb_denser_than_citation_analogs(self):
+        webkb = load_dataset("webkb-cornell", seed=0)
+        cora = load_dataset("cora", seed=0, scale=1.0)
+        assert webkb.density > cora.density

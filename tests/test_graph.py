@@ -1,0 +1,129 @@
+"""Unit tests for the attributed-graph container and sparse helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import AttributedGraph, gcn_normalize, row_normalize
+from repro.graph.sparse import to_dense
+
+
+def _triangle():
+    adj = np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]], dtype=float)
+    attrs = np.eye(3)
+    return AttributedGraph(adj, attrs, labels=[0, 1, 1], name="tri")
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = _triangle()
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.num_attributes == 3
+        assert g.num_labels == 2
+
+    def test_symmetrises_directed_input(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = 1.0  # one direction only
+        g = AttributedGraph(adj, np.eye(3))
+        assert g.has_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_removes_self_loops(self):
+        adj = np.eye(3)
+        g = AttributedGraph(adj, np.eye(3))
+        assert g.num_edges == 0
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            AttributedGraph(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_rejects_mismatched_attributes(self):
+        with pytest.raises(ValueError):
+            AttributedGraph(np.zeros((3, 3)), np.zeros((2, 2)))
+
+    def test_rejects_negative_weights(self):
+        adj = np.zeros((2, 2))
+        adj[0, 1] = adj[1, 0] = -1.0
+        with pytest.raises(ValueError):
+            AttributedGraph(adj, np.zeros((2, 1)))
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            AttributedGraph(np.zeros((3, 3)), np.zeros((3, 1)), labels=[0, 1])
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = _triangle()
+        np.testing.assert_array_equal(sorted(g.neighbors(0)), [1, 2])
+        np.testing.assert_array_equal(g.neighbors(1), [0])
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(IndexError):
+            _triangle().neighbors(5)
+
+    def test_degrees(self):
+        np.testing.assert_allclose(_triangle().degrees(), [2.0, 1.0, 1.0])
+
+    def test_edge_list_upper_triangular(self):
+        edges = _triangle().edge_list()
+        assert (edges[:, 0] < edges[:, 1]).all()
+        assert len(edges) == 2
+
+    def test_density(self):
+        assert _triangle().density == pytest.approx(2 / 3)
+
+    def test_khop(self):
+        g = _triangle()
+        np.testing.assert_array_equal(g.khop_neighbors(1, 1), [0])
+        np.testing.assert_array_equal(g.khop_neighbors(1, 2), [0, 2])
+
+    def test_khop_rejects_zero(self):
+        with pytest.raises(ValueError):
+            _triangle().khop_neighbors(0, 0)
+
+
+class TestMutation:
+    def test_subgraph_with_edges(self):
+        g = _triangle()
+        sub = g.subgraph_with_edges(np.array([[0, 1]]))
+        assert sub.num_edges == 1
+        assert sub.num_nodes == 3  # node set unchanged
+        assert not sub.has_edge(0, 2)
+
+    def test_largest_connected_component(self):
+        adj = np.zeros((5, 5))
+        adj[0, 1] = adj[1, 0] = 1.0
+        adj[2, 3] = adj[3, 2] = 1.0
+        adj[3, 4] = adj[4, 3] = 1.0
+        g = AttributedGraph(adj, np.eye(5), labels=[0, 0, 1, 1, 1])
+        lcc = g.largest_connected_component()
+        assert lcc.num_nodes == 3
+        assert lcc.num_edges == 2
+        np.testing.assert_array_equal(lcc.labels, [1, 1, 1])
+
+
+class TestSparseHelpers:
+    def test_row_normalize_rows_sum_to_one(self):
+        m = row_normalize(_triangle().adjacency)
+        np.testing.assert_allclose(np.asarray(m.sum(axis=1)).ravel(), [1.0, 1.0, 1.0])
+
+    def test_row_normalize_zero_rows_stay_zero(self):
+        m = row_normalize(sp.csr_matrix((2, 2)))
+        assert m.nnz == 0
+
+    def test_gcn_normalize_symmetric(self):
+        m = gcn_normalize(_triangle().adjacency)
+        dense = to_dense(m)
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+
+    def test_gcn_normalize_known_value(self):
+        # Two connected nodes with self loops: each degree 2, off-diagonal 1/2.
+        adj = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        dense = to_dense(gcn_normalize(adj))
+        np.testing.assert_allclose(dense, [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_to_dense_passthrough(self):
+        arr = np.ones((2, 2))
+        np.testing.assert_array_equal(to_dense(arr), arr)

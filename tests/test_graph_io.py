@@ -1,0 +1,62 @@
+"""Round-trip tests for the LINQS .content/.cites reader and writer."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph import AttributedGraph, citation_graph, read_linqs, write_linqs
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_graph(self, tmp_path):
+        g = citation_graph(num_nodes=40, num_classes=3, num_attributes=10, seed=0)
+        write_linqs(g, str(tmp_path), name="toy")
+        loaded = read_linqs(str(tmp_path), "toy")
+        assert loaded.num_nodes == g.num_nodes
+        assert loaded.num_edges == g.num_edges
+        np.testing.assert_array_equal(loaded.attributes, g.attributes)
+        # Labels are relabelled alphabetically but the partition is identical.
+        for cls in np.unique(g.labels):
+            members = np.flatnonzero(g.labels == cls)
+            assert len(np.unique(loaded.labels[members])) == 1
+
+    def test_files_created(self, tmp_path):
+        g = citation_graph(num_nodes=10, num_classes=2, num_attributes=4, seed=1)
+        write_linqs(g, str(tmp_path), name="t")
+        assert os.path.exists(tmp_path / "t.content")
+        assert os.path.exists(tmp_path / "t.cites")
+
+    def test_float_attributes_roundtrip(self, tmp_path):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        attrs = np.array([[0.25, 1.0], [2.5, 0.0], [1.0, 1.0]])
+        g = AttributedGraph(adj, attrs, labels=[0, 1, 0], name="f")
+        write_linqs(g, str(tmp_path))
+        loaded = read_linqs(str(tmp_path), "f")
+        np.testing.assert_allclose(loaded.attributes, attrs)
+
+
+class TestReaderRobustness:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_linqs(str(tmp_path), "absent")
+
+    def test_dangling_citations_skipped(self, tmp_path):
+        (tmp_path / "d.content").write_text("a\t1\t0\tx\nb\t0\t1\ty\n")
+        (tmp_path / "d.cites").write_text("a\tb\na\tmissing\n")
+        g = read_linqs(str(tmp_path), "d")
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+
+    def test_empty_content_rejected(self, tmp_path):
+        (tmp_path / "e.content").write_text("")
+        (tmp_path / "e.cites").write_text("")
+        with pytest.raises(ValueError):
+            read_linqs(str(tmp_path), "e")
+
+    def test_self_citations_ignored(self, tmp_path):
+        (tmp_path / "s.content").write_text("a\t1\tx\nb\t0\ty\n")
+        (tmp_path / "s.cites").write_text("a\ta\na\tb\n")
+        g = read_linqs(str(tmp_path), "s")
+        assert g.num_edges == 1

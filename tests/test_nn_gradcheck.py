@@ -1,0 +1,279 @@
+"""Finite-difference verification of every autograd op.
+
+Each test builds a scalar function of one or more input tensors, computes the
+analytic gradient via backward(), and compares against central differences.
+This is the load-bearing correctness test for the whole NN substrate — every
+model in the repository trains through these ops.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import Tensor, concat, segment_mean, sparse_matmul, stack
+
+
+def numeric_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` at ``value``."""
+    grad = np.zeros_like(value, dtype=np.float64)
+    flat = value.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(value)
+        flat[i] = original - eps
+        lower = fn(value)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check(fn_tensor, fn_numpy, *shapes, seed=0, tol=1e-5):
+    """Compare autograd and numeric gradients of fn over random inputs."""
+    rng = np.random.default_rng(seed)
+    values = [rng.normal(size=shape) + 0.1 for shape in shapes]
+    tensors = [Tensor(v.copy(), requires_grad=True) for v in values]
+    out = fn_tensor(*tensors)
+    assert out.size == 1, "gradcheck functions must be scalar"
+    out.backward()
+    for position, (tensor, value) in enumerate(zip(tensors, values)):
+        def partial(x, position=position):
+            args = [v.copy() for v in values]
+            args[position] = x
+            return fn_numpy(*args)
+        numeric = numeric_gradient(partial, value.copy())
+        assert tensor.grad is not None, f"input {position} got no gradient"
+        np.testing.assert_allclose(tensor.grad, numeric, rtol=tol, atol=tol)
+
+
+class TestArithmetic:
+    def test_add(self):
+        check(lambda a, b: (a + b).sum(), lambda a, b: (a + b).sum(), (3, 4), (3, 4))
+
+    def test_add_broadcast_row(self):
+        check(lambda a, b: (a + b).sum(), lambda a, b: (a + b).sum(), (3, 4), (4,))
+
+    def test_add_broadcast_scalar_shape(self):
+        check(lambda a, b: (a + b).sum(), lambda a, b: (a + b).sum(), (3, 4), (1, 4))
+
+    def test_sub(self):
+        check(lambda a, b: (a - b).sum(), lambda a, b: (a - b).sum(), (2, 5), (2, 5))
+
+    def test_mul(self):
+        check(lambda a, b: (a * b).sum(), lambda a, b: (a * b).sum(), (3, 3), (3, 3))
+
+    def test_mul_broadcast_column(self):
+        check(lambda a, b: (a * b).sum(), lambda a, b: (a * b).sum(), (3, 4), (3, 1))
+
+    def test_div(self):
+        check(lambda a, b: (a / b).sum(), lambda a, b: (a / b).sum(), (2, 3), (2, 3))
+
+    def test_neg(self):
+        check(lambda a: (-a).sum(), lambda a: (-a).sum(), (4,))
+
+    def test_pow(self):
+        check(lambda a: (a**3.0).sum(), lambda a: (a**3.0).sum(), (3, 2))
+
+    def test_scalar_radd_rmul(self):
+        check(lambda a: (2.0 + 3.0 * a).sum(), lambda a: (2.0 + 3.0 * a).sum(), (5,))
+
+    def test_rsub_rdiv(self):
+        check(lambda a: (1.0 - a).sum() + (1.0 / a).sum(),
+              lambda a: (1.0 - a).sum() + (1.0 / a).sum(), (4,), seed=3)
+
+
+class TestMatmul:
+    def test_matrix_matrix(self):
+        check(lambda a, b: (a @ b).sum(), lambda a, b: (a @ b).sum(), (3, 4), (4, 2))
+
+    def test_vector_dot(self):
+        check(lambda a, b: a @ b, lambda a, b: a @ b, (5,), (5,))
+
+    def test_matrix_vector(self):
+        check(lambda a, b: (a @ b).sum(), lambda a, b: (a @ b).sum(), (3, 4), (4,))
+
+    def test_vector_matrix(self):
+        check(lambda a, b: (a @ b).sum(), lambda a, b: (a @ b).sum(), (3,), (3, 4))
+
+    def test_chained(self):
+        check(lambda a, b: ((a @ b) * (a @ b)).sum(),
+              lambda a, b: ((a @ b) ** 2).sum(), (2, 3), (3, 2))
+
+    def test_sparse_matmul(self):
+        rng = np.random.default_rng(1)
+        dense = rng.normal(size=(6, 3))
+        sparse_const = sp.random(4, 6, density=0.5, random_state=2, format="csr")
+        w = Tensor(dense.copy(), requires_grad=True)
+        out = sparse_matmul(sparse_const, w).sum()
+        out.backward()
+        numeric = numeric_gradient(lambda x: (sparse_const @ x).sum(), dense.copy())
+        np.testing.assert_allclose(w.grad, numeric, atol=1e-6)
+
+
+class TestReductionsAndShape:
+    def test_sum_all(self):
+        check(lambda a: (a * a).sum(), lambda a: (a * a).sum(), (3, 4))
+
+    def test_sum_axis0(self):
+        check(lambda a: (a.sum(axis=0) ** 2.0).sum(),
+              lambda a: (a.sum(axis=0) ** 2).sum(), (3, 4))
+
+    def test_sum_axis1_keepdims(self):
+        check(lambda a: (a.sum(axis=1, keepdims=True) * a).sum(),
+              lambda a: (a.sum(axis=1, keepdims=True) * a).sum(), (3, 4))
+
+    def test_mean(self):
+        check(lambda a: a.mean(), lambda a: a.mean(), (4, 5))
+
+    def test_mean_axis(self):
+        check(lambda a: (a.mean(axis=1) ** 2.0).sum(),
+              lambda a: (a.mean(axis=1) ** 2).sum(), (3, 6))
+
+    def test_reshape(self):
+        check(lambda a: (a.reshape(6) ** 2.0).sum(),
+              lambda a: (a.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_transpose(self):
+        check(lambda a: (a.T @ a).sum(), lambda a: (a.T @ a).sum(), (3, 2))
+
+    def test_getitem_rows(self):
+        index = np.array([0, 2, 2, 1])
+        check(lambda a: (a[index] ** 2.0).sum(),
+              lambda a: (a[index] ** 2).sum(), (4, 3))
+
+    def test_getitem_repeated_rows_accumulate(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = a[np.array([1, 1, 1])].sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(a.grad[0], [0.0, 0.0])
+
+    def test_getitem_large_index_sparse_path(self):
+        rng = np.random.default_rng(0)
+        index = rng.integers(0, 10, size=5000)
+        a = Tensor(rng.normal(size=(10, 3)), requires_grad=True)
+        weights = rng.normal(size=(5000, 3))
+        (a[index] * Tensor(weights)).sum().backward()
+        expected = np.zeros((10, 3))
+        np.add.at(expected, index, weights)
+        np.testing.assert_allclose(a.grad, expected, atol=1e-9)
+
+    def test_concat(self):
+        check(lambda a, b: (concat([a, b], axis=1) ** 2.0).sum(),
+              lambda a, b: (np.concatenate([a, b], axis=1) ** 2).sum(),
+              (3, 2), (3, 4))
+
+    def test_stack(self):
+        check(lambda a, b: (stack([a, b]) ** 2.0).sum(),
+              lambda a, b: (np.stack([a, b]) ** 2).sum(), (2, 3), (2, 3))
+
+
+class TestElementwise:
+    def test_exp(self):
+        check(lambda a: a.exp().sum(), lambda a: np.exp(a).sum(), (3, 3))
+
+    def test_log(self):
+        check(lambda a: (a * a + 1.0).log().sum(),
+              lambda a: np.log(a * a + 1.0).sum(), (3, 3))
+
+    def test_sqrt(self):
+        check(lambda a: (a * a + 1.0).sqrt().sum(),
+              lambda a: np.sqrt(a * a + 1.0).sum(), (4,))
+
+    def test_sigmoid(self):
+        check(lambda a: a.sigmoid().sum(),
+              lambda a: (1 / (1 + np.exp(-a))).sum(), (3, 4))
+
+    def test_log_sigmoid(self):
+        check(lambda a: a.log_sigmoid().sum(),
+              lambda a: -np.logaddexp(0, -a).sum(), (3, 4))
+
+    def test_log_sigmoid_extreme_values_finite(self):
+        t = Tensor(np.array([-800.0, 0.0, 800.0]), requires_grad=True)
+        out = t.log_sigmoid().sum()
+        out.backward()
+        assert np.isfinite(out.item())
+        assert np.all(np.isfinite(t.grad))
+
+    def test_tanh(self):
+        check(lambda a: a.tanh().sum(), lambda a: np.tanh(a).sum(), (3, 3))
+
+    def test_relu(self):
+        check(lambda a: a.relu().sum(),
+              lambda a: np.maximum(a, 0).sum(), (4, 4), seed=5)
+
+    def test_softplus(self):
+        check(lambda a: a.softplus().sum(),
+              lambda a: np.logaddexp(0, a).sum(), (3, 3))
+
+    def test_clip_gradient_masked(self):
+        t = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestSegmentMean:
+    def test_matches_manual_average(self):
+        values = Tensor(np.arange(12, dtype=float).reshape(6, 2), requires_grad=True)
+        ids = np.array([0, 0, 1, 1, 1, 3])
+        out = segment_mean(values, ids, 4)
+        expected = np.array([[1.0, 2.0], [6.0, 7.0], [0.0, 0.0], [10.0, 11.0]])
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_gradient(self):
+        ids = np.array([0, 0, 1, 2, 2, 2])
+
+        def fn_numpy(a):
+            sums = np.zeros((3, 2))
+            np.add.at(sums, ids, a)
+            counts = np.array([2.0, 1.0, 3.0])
+            return ((sums / counts[:, None]) ** 2).sum()
+
+        check(lambda a: (segment_mean(a, ids, 3) ** 2.0).sum(), fn_numpy, (6, 2))
+
+    def test_rejects_bad_ids(self):
+        values = Tensor(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            segment_mean(values, np.array([0, 1, 5]), 3)
+        with pytest.raises(ValueError):
+            segment_mean(values, np.array([0, 1]), 3)
+
+
+class TestBackwardSemantics:
+    def test_grad_accumulates_across_backward_calls(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2.0).sum().backward()
+        (t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0, 5.0, 5.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        a = t * 3.0
+        out = (a * a).sum()  # d/dt (9 t^2) = 18 t = 36
+        out.backward()
+        np.testing.assert_allclose(t.grad, [36.0])
+
+    def test_non_scalar_backward_requires_grad_argument(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_backward_on_leaf_without_grad_raises(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_context_blocks_graph(self):
+        from repro.nn import no_grad
+
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach_breaks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        frozen = t.detach()
+        assert not frozen.requires_grad
+        np.testing.assert_allclose(frozen.data, t.data)

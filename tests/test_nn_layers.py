@@ -1,0 +1,290 @@
+"""Unit tests for NN layers, initialisation, and optimisers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import (
+    MLP,
+    Adam,
+    ContextConv1d,
+    GCNConv,
+    Linear,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    Tensor,
+    xavier_normal,
+    xavier_uniform,
+)
+from repro.nn import functional as F
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self):
+        w = xavier_uniform((100, 50), seed=0)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+        assert w.shape == (100, 50)
+
+    def test_xavier_normal_std(self):
+        w = xavier_normal((2000, 2000), seed=0)
+        expected = np.sqrt(2.0 / 4000)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_seeded_reproducibility(self):
+        np.testing.assert_array_equal(xavier_uniform((5, 5), seed=3),
+                                      xavier_uniform((5, 5), seed=3))
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            xavier_uniform(())
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        layer = Linear(4, 3, seed=0)
+        x = Tensor(np.ones((2, 4)))
+        out = layer(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, np.ones((2, 4)) @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, seed=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestModuleDiscovery:
+    def test_nested_parameters_found_once(self):
+        class Wrapper(Module):
+            def __init__(self):
+                self.inner = Linear(2, 2, seed=0)
+                self.extra = Parameter(np.zeros(3))
+                self.alias = self.inner  # same module referenced twice
+
+        module = Wrapper()
+        params = module.parameters()
+        assert len(params) == 3  # weight, bias, extra — not duplicated
+
+    def test_parameters_in_lists(self):
+        class Holder(Module):
+            def __init__(self):
+                self.layers = [Linear(2, 2, bias=False, seed=0) for _ in range(3)]
+
+        assert len(Holder().parameters()) == 3
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3, seed=0)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, seed=0)
+        (layer(Tensor(np.ones((1, 2)))) ** 2.0).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestMLP:
+    def test_hidden_relu_output_identity(self):
+        mlp = MLP([4, 8, 2], seed=0)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(5, 4))))
+        assert out.shape == (5, 2)
+
+    def test_trains_to_fit_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 3))
+        target = x @ np.array([[1.0], [-2.0], [0.5]])
+        mlp = MLP([3, 16, 1], seed=0)
+        optimizer = Adam(mlp.parameters(), lr=0.01)
+        first_loss = None
+        for _ in range(300):
+            loss = F.mse_loss(mlp(Tensor(x)), target)
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.05
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            MLP([2, 2], activation="swish")
+
+    def test_too_few_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+
+class TestSequential:
+    def test_chains_modules(self):
+        seq = Sequential(Linear(3, 4, seed=0), Linear(4, 2, seed=1))
+        out = seq(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 2)
+        assert len(seq.parameters()) == 4
+
+
+class TestContextConv1d:
+    def test_dense_and_sparse_paths_agree(self):
+        conv = ContextConv1d(context_size=3, in_channels=5, out_channels=4, seed=0)
+        rng = np.random.default_rng(0)
+        contexts = rng.normal(size=(7, 15)) * (rng.random((7, 15)) < 0.4)
+        dense_out = conv(Tensor(contexts))
+        sparse_out = conv(sp.csr_matrix(contexts))
+        np.testing.assert_allclose(dense_out.data, sparse_out.data, atol=1e-12)
+
+    def test_equivalent_to_explicit_filter_sum(self):
+        # r*_vij = sum(R_vi ⊙ Θ_j): the flattened matmul must equal the
+        # explicit Hadamard-sum formulation from the paper.
+        conv = ContextConv1d(context_size=3, in_channels=4, out_channels=2, seed=1)
+        rng = np.random.default_rng(1)
+        window = rng.normal(size=(3, 4))
+        out = conv(Tensor(window.reshape(1, 12)))
+        filters = conv.filters()  # (out_channels, c, d)
+        for j in range(2):
+            assert out.data[0, j] == pytest.approx((window * filters[j]).sum())
+
+    def test_rejects_wrong_width(self):
+        conv = ContextConv1d(3, 5, 4, seed=0)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((2, 14))))
+
+    def test_pool_averages_by_segment(self):
+        conv = ContextConv1d(1, 2, 2, seed=0)
+        features = Tensor(np.array([[1.0, 0.0], [3.0, 0.0], [5.0, 2.0]]))
+        pooled = conv.pool(features, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(pooled.data, [[2.0, 0.0], [5.0, 2.0]])
+
+
+class TestGCNConv:
+    def test_propagation_matches_manual(self):
+        adj = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        layer = GCNConv(3, 2, seed=0)
+        x = np.random.default_rng(0).normal(size=(2, 3))
+        out = layer(adj, Tensor(x))
+        np.testing.assert_allclose(out.data, adj @ (x @ layer.linear.weight.data))
+
+    def test_sparse_feature_input(self):
+        adj = sp.eye(4, format="csr")
+        layer = GCNConv(6, 2, seed=0)
+        x = sp.random(4, 6, density=0.3, random_state=0, format="csr")
+        out = layer(adj, x)
+        np.testing.assert_allclose(out.data, adj @ (x @ layer.linear.weight.data))
+
+    def test_gradient_flows_through_propagation(self):
+        adj = sp.csr_matrix(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        layer = GCNConv(2, 2, seed=0)
+        out = layer(adj, Tensor(np.eye(2))).sum()
+        out.backward()
+        assert layer.linear.weight.grad is not None
+        assert np.abs(layer.linear.weight.grad).sum() > 0
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_parameter():
+        return Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_converges_on_quadratic(self):
+        p = self._quadratic_parameter()
+        optimizer = SGD([p], lr=0.1)
+        for _ in range(200):
+            loss = (p * p).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_sgd_momentum_faster_than_plain(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = self._quadratic_parameter()
+            optimizer = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(100):
+                loss = (p * p).sum()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            losses[momentum] = (p.data**2).sum()
+        assert losses[0.9] < losses[0.0]
+
+    def test_adam_converges_on_quadratic(self):
+        p = self._quadratic_parameter()
+        optimizer = Adam([p], lr=0.2)
+        for _ in range(200):
+            loss = (p * p).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_weight_decay_shrinks_parameters(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = SGD([p], lr=0.1, weight_decay=1.0)
+        loss = (p * 0.0).sum()  # gradient zero; only decay acts
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        p, q = Parameter(np.ones(2)), Parameter(np.ones(2))
+        optimizer = Adam([p, q], lr=0.1)
+        (p * p).sum().backward()
+        optimizer.step()
+        np.testing.assert_array_equal(q.data, np.ones(2))
+
+    def test_rejects_bad_hyperparameters(self):
+        p = Parameter(np.ones(1))
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, betas=(1.2, 0.9))
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestFunctional:
+    def test_mse_zero_for_identical(self):
+        x = Tensor(np.ones((2, 2)))
+        assert F.mse_loss(x, np.ones((2, 2))).item() == 0.0
+
+    def test_bce_matches_manual(self):
+        logits = Tensor(np.array([0.0, 2.0, -2.0]))
+        target = np.array([1.0, 1.0, 0.0])
+        expected = np.mean(np.logaddexp(0, logits.data) - logits.data * target)
+        assert F.binary_cross_entropy_with_logits(logits, target).item() == pytest.approx(expected)
+
+    def test_bce_weighting(self):
+        logits = Tensor(np.array([1.0, 1.0]))
+        target = np.array([1.0, 1.0])
+        weighted = F.binary_cross_entropy_with_logits(logits, target, weight=np.array([2.0, 0.0]))
+        plain = F.binary_cross_entropy_with_logits(logits, target)
+        assert weighted.item() == pytest.approx(plain.item())  # mean of (2x, 0) == x
+
+    def test_kl_normal_zero_at_standard(self):
+        mu = Tensor(np.zeros((3, 2)))
+        logvar = Tensor(np.zeros((3, 2)))
+        assert F.kl_normal(mu, logvar).item() == pytest.approx(0.0)
+
+    def test_kl_normal_positive_otherwise(self):
+        mu = Tensor(np.ones((3, 2)))
+        logvar = Tensor(np.zeros((3, 2)) - 1.0)
+        assert F.kl_normal(mu, logvar).item() > 0
+
+    def test_l2_regularization(self):
+        p = Parameter(np.array([2.0, 0.0]))
+        assert F.l2_regularization([p], 0.5).item() == pytest.approx(2.0)
+
+    def test_negative_sampling_loss_decreases_with_separation(self):
+        good = F.negative_sampling_loss(Tensor(np.full(4, 5.0)), Tensor(np.full(4, -5.0)))
+        bad = F.negative_sampling_loss(Tensor(np.zeros(4)), Tensor(np.zeros(4)))
+        assert good.item() < bad.item()

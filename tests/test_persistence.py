@@ -1,0 +1,59 @@
+"""Tests for embedding persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoANEConfig
+from repro.utils.persistence import config_metadata, load_embeddings, save_embeddings
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        Z = np.random.default_rng(0).normal(size=(20, 8))
+        path = str(tmp_path / "emb.npz")
+        save_embeddings(path, Z, metadata={"dataset": "cora", "seed": 0})
+        loaded, metadata = load_embeddings(path)
+        np.testing.assert_allclose(loaded, Z)
+        assert metadata == {"dataset": "cora", "seed": 0}
+
+    def test_roundtrip_without_metadata(self, tmp_path):
+        path = str(tmp_path / "emb.npz")
+        save_embeddings(path, np.zeros((3, 2)))
+        loaded, metadata = load_embeddings(path)
+        assert metadata is None
+        assert loaded.shape == (3, 2)
+
+    def test_node_count_guard(self, tmp_path):
+        path = str(tmp_path / "emb.npz")
+        save_embeddings(path, np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            load_embeddings(path, expected_num_nodes=10)
+        loaded, _ = load_embeddings(path, expected_num_nodes=5)
+        assert loaded.shape == (5, 2)
+
+    def test_rejects_non_matrix(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_embeddings(str(tmp_path / "bad.npz"), np.zeros(5))
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_embeddings(path)
+
+
+class TestConfigMetadata:
+    def test_snapshot_json_safe(self):
+        import json
+
+        snapshot = config_metadata(CoANEConfig())
+        text = json.dumps(snapshot)  # must not raise
+        assert "embedding_dim" in snapshot
+        assert snapshot["embedding_dim"] == 128
+        assert isinstance(text, str)
+
+    def test_hooks_not_serialised_raw(self):
+        config = CoANEConfig()
+        config.history_hooks.append(lambda e, z: None)
+        snapshot = config_metadata(config)
+        assert isinstance(snapshot["history_hooks"], str)

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval.metrics import auc_score, f1_scores, normalized_mutual_information
+from repro.graph import AttributedGraph
+from repro.nn import Tensor, segment_mean
+from repro.utils.tables import format_series, format_table
+from repro.walks.contexts import PAD, extract_contexts
+
+
+# --------------------------------------------------------------------- nn ---
+@given(
+    hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+               elements=st.floats(-10, 10)),
+    hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+               elements=st.floats(-10, 10)),
+)
+def test_add_backward_matches_shapes(a, b):
+    """x + x^T-compatible broadcast: gradients always match input shapes."""
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b.copy(), requires_grad=True)
+    try:
+        out = (ta + tb).sum()
+    except ValueError:
+        return  # incompatible broadcast is fine to reject
+    out.backward()
+    assert ta.grad.shape == a.shape
+    assert tb.grad.shape == b.shape
+
+
+@given(
+    hnp.arrays(np.float64, (5, 3), elements=st.floats(-5, 5)),
+    hnp.arrays(np.int64, (8,), elements=st.integers(0, 4)),
+)
+def test_segment_mean_total_mass(values, ids):
+    """Sum over segments of count*mean equals the column sums of the input."""
+    out = segment_mean(Tensor(values[ids]), ids, 5)
+    counts = np.bincount(ids, minlength=5).astype(float)
+    reconstructed = (out.data * counts[:, None]).sum(axis=0)
+    np.testing.assert_allclose(reconstructed, values[ids].sum(axis=0), atol=1e-9)
+
+
+@given(hnp.arrays(np.float64, (4, 4), elements=st.floats(-20, 20)))
+def test_sigmoid_bounds(x):
+    out = Tensor(x).sigmoid().data
+    assert ((out >= 0) & (out <= 1)).all()
+
+
+@given(hnp.arrays(np.float64, (6,), elements=st.floats(-50, 50)))
+def test_log_sigmoid_is_log_of_sigmoid(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(
+        t.log_sigmoid().data,
+        np.log(np.clip(t.sigmoid().data, 1e-300, None)),
+        rtol=1e-6, atol=1e-9,
+    )
+
+
+# ---------------------------------------------------------------- metrics ---
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=40))
+def test_f1_perfect_on_self(labels):
+    scores = f1_scores(labels, labels)
+    assert scores["macro"] == 1.0
+    assert scores["micro"] == 1.0
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1000)), min_size=4, max_size=60))
+def test_auc_invariant_to_monotone_transform(pairs):
+    # Scores on a coarse grid so the affine transform cannot create or break
+    # ties through float rounding (which would legitimately change AUC).
+    labels = np.array([p[0] for p in pairs])
+    scores = np.array([p[1] for p in pairs])
+    if labels.sum() == 0 or labels.sum() == len(labels):
+        return
+    base = auc_score(labels, scores)
+    transformed = auc_score(labels, 3.0 * scores + 7.0)
+    assert base == transformed
+
+
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=50))
+def test_nmi_symmetric(labels):
+    rng = np.random.default_rng(0)
+    other = rng.integers(0, 3, len(labels))
+    a = normalized_mutual_information(labels, other)
+    b = normalized_mutual_information(other, labels)
+    np.testing.assert_allclose(a, b, atol=1e-12)
+    assert -1e-9 <= a <= 1.0 + 1e-9
+
+
+# ------------------------------------------------------------------ walks ---
+@settings(deadline=None)
+@given(
+    st.integers(3, 12).map(lambda n: n | 1),  # odd context size 3..13
+    st.integers(2, 10),
+    st.integers(2, 12),
+)
+def test_extract_contexts_invariants(context_size, num_walks, length):
+    rng = np.random.default_rng(0)
+    num_nodes = 15
+    walks = rng.integers(0, num_nodes, size=(num_walks, length))
+    cs = extract_contexts(walks, context_size, num_nodes, subsample_t=1.0, seed=0)
+    half = (context_size - 1) // 2
+    # Midst of each window is the recorded center node.
+    np.testing.assert_array_equal(cs.windows[:, half], cs.midst)
+    # Every walk-start node has at least one context.
+    starts = np.unique(walks[:, 0])
+    assert (cs.counts()[starts] >= 1).all()
+    # Window entries are either PAD or valid node ids.
+    valid = (cs.windows == PAD) | ((cs.windows >= 0) & (cs.windows < num_nodes))
+    assert valid.all()
+    # With t=1 (no subsampling) every position produces a window.
+    assert cs.num_contexts == num_walks * length
+
+
+# ------------------------------------------------------------------ graph ---
+@settings(deadline=None)
+@given(st.integers(2, 20), st.floats(0.1, 0.9), st.integers(0, 100))
+def test_graph_construction_invariants(n, density, seed):
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((n, n)) < density).astype(float)
+    g = AttributedGraph(adj, rng.random((n, 2)))
+    dense = np.asarray(g.adjacency.todense())
+    np.testing.assert_allclose(dense, dense.T)        # symmetric
+    assert np.diag(dense).sum() == 0                  # no self loops
+    assert g.num_edges == (dense > 0).sum() // 2      # undirected count
+    assert 0.0 <= g.density <= 1.0
+
+
+@settings(deadline=None)
+@given(st.integers(2, 15), st.integers(0, 50))
+def test_edge_list_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((n, n)) < 0.3).astype(float)
+    g = AttributedGraph(adj, np.zeros((n, 1)))
+    edges = g.edge_list()
+    rebuilt = g.subgraph_with_edges(edges) if len(edges) else g
+    assert rebuilt.num_edges == g.num_edges
+
+
+# ------------------------------------------------------------------ utils ---
+@given(st.lists(st.tuples(st.integers(-100, 100), st.floats(-10, 10)),
+                min_size=1, max_size=10))
+def test_format_series_row_count(points):
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    text = format_series("name", xs, ys)
+    assert len(text.splitlines()) == len(points) + 3  # title + header + rule
+
+
+@given(st.integers(1, 5), st.integers(1, 8))
+def test_format_table_alignment(columns, rows):
+    headers = [f"c{i}" for i in range(columns)]
+    body = [[i * j for j in range(columns)] for i in range(rows)]
+    text = format_table(headers, body)
+    widths = {len(line) for line in text.splitlines()}
+    assert len(widths) == 1  # all lines equal width

@@ -1,0 +1,62 @@
+"""Tests for the shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, ensure_rng, format_series, format_table, spawn_rngs
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_reproducible(self):
+        first = [g.random() for g in spawn_rngs(3, 2)]
+        second = [g.random() for g in spawn_rngs(3, 2)]
+        assert first == second
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTables:
+    def test_table_contains_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+        assert "T" in text
+        assert "2.500" in text
+        assert "x" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_series_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])
+
+    def test_series_labels(self):
+        text = format_series("curve", [1], [0.5], x_label="dim", y_label="auc")
+        assert "dim" in text and "auc" in text
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0

@@ -1,0 +1,224 @@
+"""Tests for random walkers, context extraction, and co-occurrence matrices."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import AttributedGraph
+from repro.walks import (
+    ContextSet,
+    Node2VecWalker,
+    PAD,
+    RandomWalker,
+    build_cooccurrence,
+    extract_contexts,
+)
+from repro.walks.contexts import attribute_context_matrices
+
+
+def _path_graph(n=5):
+    adj = np.zeros((n, n))
+    for i in range(n - 1):
+        adj[i, i + 1] = adj[i + 1, i] = 1.0
+    return AttributedGraph(adj, np.eye(n))
+
+
+def _star_graph(leaves=4):
+    n = leaves + 1
+    adj = np.zeros((n, n))
+    adj[0, 1:] = adj[1:, 0] = 1.0
+    return AttributedGraph(adj, np.eye(n))
+
+
+class TestRandomWalker:
+    def test_walks_shape_and_starts(self):
+        g = _path_graph()
+        walks = RandomWalker(g, seed=0).walk(length=7, num_walks=3)
+        assert walks.shape == (15, 7)
+        np.testing.assert_array_equal(walks[:5, 0], np.arange(5))
+
+    def test_steps_follow_edges(self):
+        g = _path_graph()
+        walks = RandomWalker(g, seed=1).walk(length=10)
+        for walk in walks:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert g.has_edge(a, b) or a == b
+
+    def test_isolated_node_stays_put(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        g = AttributedGraph(adj, np.eye(3))
+        walks = RandomWalker(g, seed=0).walk(length=5, start_nodes=[2])
+        np.testing.assert_array_equal(walks[0], [2, 2, 2, 2, 2])
+
+    def test_weighted_transitions_biased(self):
+        # Node 0 connects to 1 (weight 100) and 2 (weight 1).
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 100.0
+        adj[0, 2] = adj[2, 0] = 1.0
+        g = AttributedGraph(adj, np.eye(3))
+        walks = RandomWalker(g, seed=0).walk(length=2, num_walks=300, start_nodes=[0])
+        frac_to_1 = (walks[:, 1] == 1).mean()
+        assert frac_to_1 > 0.9
+
+    def test_invalid_arguments(self):
+        g = _path_graph()
+        with pytest.raises(ValueError):
+            RandomWalker(g, seed=0).walk(length=0)
+        with pytest.raises(ValueError):
+            RandomWalker(g, seed=0).walk(length=3, num_walks=0)
+
+    def test_seeded_determinism(self):
+        g = _path_graph()
+        a = RandomWalker(g, seed=5).walk(length=6)
+        b = RandomWalker(g, seed=5).walk(length=6)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNode2VecWalker:
+    def test_pq_one_uses_fast_path(self):
+        g = _path_graph()
+        walks = Node2VecWalker(g, p=1.0, q=1.0, seed=0).walk(length=5)
+        assert walks.shape == (5, 5)
+
+    def test_low_p_encourages_backtracking(self):
+        g = _star_graph(leaves=6)
+        frequent_return = Node2VecWalker(g, p=0.01, q=1.0, seed=0).walk(length=40, start_nodes=[0])
+        rare_return = Node2VecWalker(g, p=100.0, q=1.0, seed=0).walk(length=40, start_nodes=[0])
+
+        def backtrack_rate(walk):
+            return np.mean([walk[i] == walk[i - 2] for i in range(2, len(walk))])
+
+        assert backtrack_rate(frequent_return[0]) > backtrack_rate(rare_return[0])
+
+    def test_rejects_nonpositive_pq(self):
+        with pytest.raises(ValueError):
+            Node2VecWalker(_path_graph(), p=0.0)
+
+
+class TestContextExtraction:
+    def test_window_alignment_and_padding(self):
+        walks = np.array([[0, 1, 2, 3]])
+        cs = extract_contexts(walks, context_size=3, num_nodes=4, subsample_t=1.0, seed=0)
+        # With t=1 every position is kept; the first window is [PAD, 0, 1].
+        first = cs.contexts_of(0)
+        assert len(first) == 1
+        np.testing.assert_array_equal(first[0], [PAD, 0, 1])
+        last = cs.contexts_of(3)
+        np.testing.assert_array_equal(last[0], [2, 3, PAD])
+
+    def test_start_positions_always_kept(self):
+        g_walks = np.tile(np.arange(6), (3, 1))
+        cs = extract_contexts(g_walks, 3, 6, subsample_t=1e-12, seed=0)
+        # Aggressive subsampling discards everything except position 0.
+        assert (cs.counts() > 0)[0]
+        assert cs.contexts_of(0).shape[0] >= 3
+
+    def test_subsampling_reduces_frequent_nodes(self):
+        rng = np.random.default_rng(0)
+        walks = np.full((50, 20), 0)
+        walks[:, ::2] = rng.integers(1, 10, size=(50, 10))
+        frequent = extract_contexts(walks, 3, 10, subsample_t=1.0, seed=0)
+        subsampled = extract_contexts(walks, 3, 10, subsample_t=1e-4, seed=0)
+        assert subsampled.counts()[0] < frequent.counts()[0]
+
+    def test_rejects_even_context(self):
+        with pytest.raises(ValueError):
+            extract_contexts(np.zeros((1, 4), dtype=int), 4, 5)
+
+    def test_rejects_bad_t(self):
+        with pytest.raises(ValueError):
+            extract_contexts(np.zeros((1, 4), dtype=int), 3, 5, subsample_t=0.0)
+
+    def test_context_set_sorted_by_midst(self):
+        walks = np.array([[2, 0, 1], [1, 2, 0]])
+        cs = extract_contexts(walks, 3, 3, subsample_t=1.0, seed=0)
+        assert (np.diff(cs.midst) >= 0).all()
+
+    def test_sampling_distribution_sums_to_one(self):
+        walks = np.array([[0, 1, 2, 1, 0]])
+        cs = extract_contexts(walks, 3, 3, subsample_t=1.0, seed=0)
+        assert cs.sampling_distribution().sum() == pytest.approx(1.0)
+
+    def test_max_count_is_kp(self):
+        walks = np.array([[0, 1, 0, 1, 0]])
+        cs = extract_contexts(walks, 3, 2, subsample_t=1.0, seed=0)
+        assert cs.max_count() == max(cs.counts())
+
+
+class TestAttributeContextMatrices:
+    def test_dense_and_sparse_agree(self):
+        walks = np.array([[0, 1, 2], [2, 1, 0]])
+        cs = extract_contexts(walks, 3, 3, subsample_t=1.0, seed=0)
+        attrs = np.arange(9, dtype=float).reshape(3, 3)
+        dense = attribute_context_matrices(cs, attrs, sparse=False)
+        sparse = attribute_context_matrices(cs, attrs, sparse=True)
+        np.testing.assert_allclose(dense, np.asarray(sparse.todense()))
+
+    def test_pad_rows_are_zero(self):
+        walks = np.array([[0, 1]])
+        cs = extract_contexts(walks, 3, 2, subsample_t=1.0, seed=0)
+        attrs = np.ones((2, 4))
+        flat = attribute_context_matrices(cs, attrs, sparse=False)
+        window = cs.windows[0]
+        for position, node in enumerate(window):
+            block = flat[0, position * 4:(position + 1) * 4]
+            if node == PAD:
+                np.testing.assert_array_equal(block, 0.0)
+            else:
+                np.testing.assert_array_equal(block, 1.0)
+
+    def test_auto_sparse_for_sparse_attributes(self):
+        walks = np.array([[0, 1, 0, 1]])
+        cs = extract_contexts(walks, 3, 2, subsample_t=1.0, seed=0)
+        sparse_attrs = np.zeros((2, 100))
+        sparse_attrs[0, 0] = 1.0
+        result = attribute_context_matrices(cs, sparse_attrs)
+        assert sp.issparse(result)
+
+
+class TestCooccurrence:
+    def test_counts_match_manual(self):
+        walks = np.array([[0, 1, 2]])
+        cs = extract_contexts(walks, 3, 3, subsample_t=1.0, seed=0)
+        g = _path_graph(3)
+        stats = build_cooccurrence(cs, g)
+        D = np.asarray(stats.D.todense())
+        # Node 1's window [0,1,2] contributes D[1,0] and D[1,2].
+        assert D[1, 0] == 1 and D[1, 2] == 1
+        # Node 0's window [PAD,0,1] contributes D[0,1] only.
+        assert D[0, 1] == 1 and D[0, 2] == 0
+
+    def test_d1_restricted_to_edges(self):
+        walks = np.array([[0, 1, 2, 3, 4]])
+        cs = extract_contexts(walks, 5, 5, subsample_t=1.0, seed=0)
+        g = _path_graph(5)
+        stats = build_cooccurrence(cs, g)
+        D1 = np.asarray(stats.D1.todense())
+        adj = np.asarray(g.adjacency.todense())
+        assert ((D1 > 0) <= (adj > 0)).all()
+
+    def test_pairs_flattening(self):
+        walks = np.array([[0, 1, 2]])
+        cs = extract_contexts(walks, 3, 3, subsample_t=1.0, seed=0)
+        stats = build_cooccurrence(cs, _path_graph(3))
+        rows, cols, weights = stats.pairs()
+        assert len(rows) == len(cols) == len(weights)
+        assert (weights > 0).all()
+
+    def test_topk_truncation(self):
+        # A hub whose row has more than kp entries must be truncated.
+        rng = np.random.default_rng(0)
+        walks = np.vstack([[0] + rng.permutation(np.arange(1, 9))[:4].tolist()
+                           for _ in range(12)])
+        cs = extract_contexts(walks, 3, 9, subsample_t=1.0, seed=0)
+        g = _star_graph(8)
+        stats = build_cooccurrence(cs, g)
+        for idx in stats.top_indices:
+            assert len(idx) <= stats.kp
+
+    def test_center_not_counted(self):
+        walks = np.array([[0, 0, 0]])
+        cs = extract_contexts(walks, 3, 1, subsample_t=1.0, seed=0)
+        stats = build_cooccurrence(cs, AttributedGraph(np.zeros((1, 1)), np.eye(1)))
+        assert stats.D.nnz == 0

@@ -17,6 +17,11 @@ import os
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark, skipped unless env-gated")
+
 from repro.baselines import make_method
 from repro.graph import load_dataset
 from repro.graph.datasets import WEBKB_NETWORKS

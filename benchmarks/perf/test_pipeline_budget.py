@@ -1,0 +1,63 @@
+"""Quick-bench tier: pipeline stage timings must stay within budget.
+
+Skipped by default (it is a wall-clock test, useless on a loaded machine
+unless explicitly requested).  Enable with::
+
+    REPRO_PERF_BENCH=1 PYTHONPATH=src python -m pytest benchmarks/perf -q
+
+Knobs (mirroring the figure benchmarks' ``REPRO_BENCH_SCALE`` convention):
+
+* ``REPRO_PERF_BENCH``       — "1" enables the tier.
+* ``REPRO_BENCH_SCALE``      — dataset analog scale (default 0.25).
+* ``REPRO_PERF_BUDGET_S``    — per-stage wall-time budget in seconds
+  (default 120; generous so only order-of-magnitude regressions trip it).
+* ``REPRO_PERF_MIN_SPEEDUP`` — required vectorised-vs-reference speedup on
+  the sampler-exclusion and mini-batch-grouping microbenchmarks (default 3).
+
+The run also refreshes ``BENCH_pipeline.json`` at the repo root so the perf
+trajectory is tracked in-tree.
+"""
+
+import os
+
+import pytest
+
+from repro.perf import run_pipeline_bench, write_report
+
+pytestmark = pytest.mark.slow
+
+ENABLED = os.environ.get("REPRO_PERF_BENCH") == "1"
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def _budget() -> float:
+    return float(os.environ.get("REPRO_PERF_BUDGET_S", "120"))
+
+
+def _min_speedup() -> float:
+    return float(os.environ.get("REPRO_PERF_MIN_SPEEDUP", "3"))
+
+
+@pytest.mark.skipif(not ENABLED, reason="set REPRO_PERF_BENCH=1 to run the perf tier")
+def test_pipeline_stages_within_budget():
+    report = run_pipeline_bench(dataset="pubmed", scale=_scale(),
+                                seed=int(os.environ.get("REPRO_BENCH_SEED", "0")),
+                                epochs=3, batch_size=256)
+    path = write_report(report, os.path.join(REPO_ROOT, "BENCH_pipeline.json"))
+    print(f"[report written to {path}]")
+
+    budget = _budget()
+    for name, stage in report["stages"].items():
+        seconds = stage["seconds"]
+        assert seconds is None or seconds <= budget, (
+            f"stage {name} took {seconds:.2f}s, budget {budget:.0f}s")
+
+    floor = _min_speedup()
+    for name in ("sampler_exclusion", "minibatch_grouping"):
+        speedup = report["micro"][name]["speedup"]
+        assert speedup is not None and speedup >= floor, (
+            f"microbenchmark {name} speedup {speedup} below {floor}x floor")

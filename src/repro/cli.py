@@ -1,4 +1,5 @@
-"""Command-line interface: train a method on a dataset and report one task.
+"""Command-line interface: train a method on a dataset and report one task,
+or benchmark the pipeline.
 
 Examples::
 
@@ -6,6 +7,7 @@ Examples::
     python -m repro --dataset webkb-cornell --method vgae --task classification
     python -m repro --dataset citeseer --method coane --task linkpred --scale 0.5
     python -m repro --linqs-dir /data/cora --linqs-name cora --method coane
+    python -m repro bench --dataset pubmed --scale 1.0
 """
 
 from __future__ import annotations
@@ -28,6 +30,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CoANE reproduction: train an embedding method and evaluate it.",
+        epilog="Subcommand: 'repro bench ...' times the pipeline stages and "
+               "microbenchmarks (see 'repro bench --help').",
     )
     source = parser.add_argument_group("data source")
     source.add_argument("--dataset", choices=dataset_names(),
@@ -58,7 +62,60 @@ def load_graph(args):
     return load_dataset(args.dataset, seed=args.seed, scale=args.scale)
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time each pipeline stage and the vectorised-vs-reference "
+                    "microbenchmarks; write a JSON perf report.",
+    )
+    parser.add_argument("--dataset", default="pubmed", choices=dataset_names(),
+                        help="synthetic analog to benchmark on (default pubmed)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="node-count multiplier for the analog (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epochs", type=int, default=3,
+                        help="training epochs per timing fit (default 3)")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="mini-batch stage batch size; 0 skips it")
+    parser.add_argument("--no-micro", action="store_true",
+                        help="skip the vectorised-vs-reference microbenchmarks")
+    parser.add_argument("--output", default="BENCH_pipeline.json",
+                        help="report path (default BENCH_pipeline.json)")
+    return parser
+
+
+def run_bench(argv) -> int:
+    from repro.perf import run_pipeline_bench, write_report
+
+    args = build_bench_parser().parse_args(argv)
+    report = run_pipeline_bench(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        epochs=args.epochs, batch_size=args.batch_size, micro=not args.no_micro,
+    )
+    rows = []
+    for name, stage in report["stages"].items():
+        throughput = stage["throughput"]
+        rows.append([name, round(stage["seconds"], 4) if stage["seconds"] is not None else "-",
+                     f"{throughput:.1f} {stage['unit']}" if throughput else "-"])
+    print(format_table(["stage", "seconds", "throughput"], rows,
+                       title=f"pipeline bench ({report['dataset']}, "
+                             f"scale {report['scale']})"))
+    if "micro" in report:
+        rows = [[name, f"{m['reference_s']:.4f}", f"{m['vectorized_s']:.4f}",
+                 f"{m['speedup']:.1f}x" if m["speedup"] else "-"]
+                for name, m in report["micro"].items()]
+        print(format_table(["microbenchmark", "reference s", "vectorized s", "speedup"],
+                           rows, title="vectorised vs reference"))
+    path = write_report(report, args.output)
+    print(f"[report written to {path}]")
+    return 0
+
+
 def run(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        return run_bench(argv[1:])
     args = build_parser().parse_args(argv)
     graph = load_graph(args)
     print(f"Loaded {graph}")

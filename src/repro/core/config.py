@@ -42,6 +42,9 @@ class CoANEConfig:
     negative_strength: float = 1e-5  # `a` in Eq. (3), tuned in [1e-5, 1e-1]
     gamma: float = 1e3               # attribute-preservation weight, Eq. (4)
     sampling: str = "auto"           # 'pre' | 'batch' | 'auto' (density >= 0.5% -> pre)
+    # Offline pool size for pre-sampling mode; None scales with graph size
+    # (see repro.core.negative_sampling.default_pool_size).
+    negative_pool_size: int | None = None
 
     # --- optimisation ---
     epochs: int = 50
@@ -80,6 +83,8 @@ class CoANEConfig:
             raise ValueError("gamma must be non-negative")
         if self.sampling not in ("pre", "batch", "auto"):
             raise ValueError("sampling must be 'pre', 'batch', or 'auto'")
+        if self.negative_pool_size is not None and self.negative_pool_size < 1:
+            raise ValueError("negative_pool_size must be None or >= 1")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
         if self.learning_rate <= 0:

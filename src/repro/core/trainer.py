@@ -24,7 +24,9 @@ from repro.core.losses import (
 from repro.core.model import CoANEModel
 from repro.core.negative_sampling import ContextualNegativeSampler, UniformNegativeSampler
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.sparse import expand_ranges
 from repro.nn import Adam, Tensor, no_grad
+from repro.nn.tensor import clear_selector_cache
 from repro.utils.rng import spawn_rngs
 from repro.walks.contexts import ContextSet, attribute_context_matrices, extract_contexts
 from repro.walks.cooccurrence import build_cooccurrence
@@ -34,29 +36,95 @@ from repro.walks.random_walk import RandomWalker
 def _onehop_contexts(graph: AttributedGraph, context_size: int, rng) -> ContextSet:
     """Contexts built from first-hop neighbors only (Fig. 6a's "Original
     Neighbors" case): each window centres the target and fills the remaining
-    slots with neighbors sampled without positional meaning."""
+    slots with neighbors sampled without positional meaning.
+
+    Fully vectorised: every node gets ``max(1, ceil(deg / (c-1)))`` windows;
+    low-degree nodes (deg < c-1) fill slots with replacement in one batched
+    integer draw, and high-degree nodes sample without replacement via random
+    sort keys over their incident edges (Gumbel-top-k style), ranked with one
+    global lexsort instead of a per-window ``rng.choice``.
+    """
+    n = graph.num_nodes
+    fill = max(context_size - 1, 1)
     half = (context_size - 1) // 2
-    windows = []
-    midsts = []
-    for node in range(graph.num_nodes):
-        neighbors = graph.neighbors(node)
-        if len(neighbors) == 0:
-            window = np.full(context_size, -1, dtype=np.int64)
-            window[half] = node
-            windows.append(window)
-            midsts.append(node)
-            continue
-        num_windows = max(1, int(np.ceil(len(neighbors) / max(context_size - 1, 1))))
-        for _ in range(num_windows):
-            fill = rng.choice(neighbors, size=context_size - 1,
-                              replace=len(neighbors) < context_size - 1)
-            window = np.empty(context_size, dtype=np.int64)
-            window[:half] = fill[:half]
-            window[half] = node
-            window[half + 1:] = fill[half:]
-            windows.append(window)
-            midsts.append(node)
-    return ContextSet(np.asarray(windows), np.asarray(midsts), graph.num_nodes)
+    adj = graph.adjacency
+    indptr = adj.indptr
+    indices = adj.indices
+    degrees = np.diff(indptr)
+    num_windows = np.maximum(1, -(-degrees // fill))  # ceil(deg / fill), min 1
+
+    total = int(num_windows.sum())
+    windows = np.full((total, context_size), -1, dtype=np.int64)
+    midsts = np.repeat(np.arange(n, dtype=np.int64), num_windows)
+    windows[:, half] = midsts
+    window_degrees = degrees[midsts]
+
+    # Low-degree windows (0 < deg < c-1): sample with replacement.
+    low = np.flatnonzero((window_degrees > 0) & (window_degrees < fill))
+    if len(low):
+        draws = (rng.random((len(low), fill)) * window_degrees[low, None]).astype(np.int64)
+        low_fill = indices[indptr[midsts[low], None] + draws]
+    else:
+        low_fill = np.empty((0, fill), dtype=np.int64)
+
+    # High-degree windows (deg >= c-1): sample without replacement by ranking
+    # one random key per (window, incident edge) and keeping the smallest
+    # ``fill`` keys of each window.
+    high = np.flatnonzero(window_degrees >= fill)
+    if len(high):
+        edge_counts = window_degrees[high]
+        edge_windows = np.repeat(np.arange(len(high)), edge_counts)
+        edge_positions = expand_ranges(indptr[midsts[high]], edge_counts)
+        offsets = np.concatenate([[0], np.cumsum(edge_counts)[:-1]])
+        keys = rng.random(len(edge_positions))
+        order = np.lexsort((keys, edge_windows))
+        rank = np.arange(len(order)) - np.repeat(offsets, edge_counts)
+        keep = rank < fill
+        high_fill = indices[edge_positions[order[keep]]].reshape(len(high), fill)
+    else:
+        high_fill = np.empty((0, fill), dtype=np.int64)
+
+    fills = np.full((total, fill), -1, dtype=np.int64)
+    fills[low] = low_fill
+    fills[high] = high_fill
+    windows[:, :half] = fills[:, :half]
+    windows[:, half + 1:] = fills[:, half:context_size - 1]
+    return ContextSet(windows, midsts, n)
+
+
+class _SegmentGroups:
+    """Rows grouped by segment id for O(|batch|) slicing in mini-batch mode.
+
+    Built once per fit, this replaces the per-batch ``np.isin(segment_ids,
+    batch)`` scan (O(num_rows · log|batch|) *per batch*, so O(num_rows ·
+    num_batches) per epoch) with an indptr lookup plus one range expansion.
+    When the ids arrive sorted (the :class:`ContextSet` invariant) no argsort
+    is needed and the produced row indices match the ``np.isin`` order
+    exactly.
+    """
+
+    def __init__(self, segment_ids: np.ndarray, num_segments: int):
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        if len(segment_ids) and not (np.diff(segment_ids) >= 0).all():
+            self._order = np.argsort(segment_ids, kind="stable")
+            sorted_ids = segment_ids[self._order]
+        else:
+            self._order = None
+            sorted_ids = segment_ids
+        self._indptr = np.searchsorted(sorted_ids, np.arange(num_segments + 1))
+
+    def rows_for(self, segments: np.ndarray) -> tuple:
+        """Row indices belonging to ``segments`` plus the per-segment counts.
+
+        With sorted ``segments`` the rows come back in ascending order —
+        identical to ``np.flatnonzero(np.isin(segment_ids, segments))``.
+        """
+        starts = self._indptr[segments]
+        lengths = self._indptr[segments + 1] - starts
+        rows = expand_ranges(starts, lengths)
+        if self._order is not None:
+            rows = self._order[rows]
+        return rows, lengths
 
 
 class CoANE:
@@ -88,6 +156,10 @@ class CoANE:
     def fit(self, graph: AttributedGraph) -> "CoANE":
         """Run pre-processing and training on ``graph``."""
         cfg = self.config
+        # Selectors cached for the previous fit's index arrays can never hit
+        # again once those arrays are rebuilt; drop them so they are not
+        # retained for the process lifetime.
+        clear_selector_cache()
         walk_rng, context_rng, sampler_rng, init_rng, batch_rng = spawn_rngs(cfg.seed, 5)
         n = graph.num_nodes
 
@@ -121,7 +193,13 @@ class CoANE:
         self.cooccurrence_ = cooccurrence
         self.history_ = []
         self._negative_cache = None
+        self._negative_local_cache = None
+        self._num_nodes = n
         segment_ids = context_set.midst
+        # Grouping indices built once per fit; every mini-batch epoch slices
+        # them instead of rescanning all contexts/pairs with np.isin.
+        self._context_groups = _SegmentGroups(segment_ids, n)
+        self._pair_groups = _SegmentGroups(pos_rows, n)
 
         for epoch in range(cfg.epochs):
             if cfg.batch_size is None:
@@ -168,7 +246,7 @@ class CoANE:
         mode = cfg.resolve_sampling(graph.density)
         return ContextualNegativeSampler(
             cooccurrence.D, context_set.counts(), cfg.num_negative, mode=mode,
-            adjacency=graph.adjacency, seed=rng,
+            pool_size=cfg.negative_pool_size, adjacency=graph.adjacency, seed=rng,
         )
 
     def _positive_targets(self, cooccurrence):
@@ -215,8 +293,15 @@ class CoANE:
                                             pos_weights, num_targets)
         if sampler is not None and cfg.negative_strength > 0:
             negatives = self._fixed_negatives(sampler, targets)
-            local = {node: i for i, node in enumerate(targets)}
-            neg_local = np.array([[local.get(v, -1) for v in row] for row in negatives])
+            if self._negative_local_cache is None:
+                # Inverse-index remap (global node id -> batch position, -1
+                # when absent), computed once per fit: the negatives are fixed,
+                # so rebuilding a dict + nested list-comp every epoch was pure
+                # overhead.
+                inverse = np.full(self._num_nodes, -1, dtype=np.int64)
+                inverse[targets] = np.arange(len(targets))
+                self._negative_local_cache = inverse[negatives]
+            neg_local = self._negative_local_cache
             if (neg_local >= 0).all():
                 rows = np.arange(len(targets))
                 neg = contextual_negative_loss(embeddings, rows, neg_local,
@@ -269,18 +354,17 @@ class CoANE:
         half = cfg.embedding_dim // 2
         for start in range(0, n, cfg.batch_size):
             batch = np.sort(permutation[start:start + cfg.batch_size])
-            mask = np.isin(segment_ids, batch)
-            if not mask.any():
+            context_rows, context_counts = self._context_groups.rows_for(batch)
+            if len(context_rows) == 0:
                 continue
-            batch_contexts = contexts_flat[np.flatnonzero(mask)]
-            local_of = {node: i for i, node in enumerate(batch)}
-            local_segments = np.array([local_of[s] for s in segment_ids[mask]])
+            batch_contexts = contexts_flat[context_rows]
+            local_segments = np.repeat(np.arange(len(batch)), context_counts)
             embeddings = model.embed(batch_contexts, local_segments, len(batch))
 
-            pair_mask = np.isin(pos_rows, batch)
-            rows = np.array([local_of[r] for r in pos_rows[pair_mask]], dtype=np.int64)
-            cols_global = pos_cols[pair_mask]
-            weights = pos_weights[pair_mask]
+            pair_rows, pair_counts = self._pair_groups.rows_for(batch)
+            rows = np.repeat(np.arange(len(batch)), pair_counts)
+            cols_global = pos_cols[pair_rows]
+            weights = pos_weights[pair_rows]
             left, _ = CoANEModel.split_lr(embeddings)
             if len(rows):
                 right_const = Tensor(cached[cols_global, half:])

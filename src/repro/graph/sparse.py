@@ -34,3 +34,65 @@ def to_dense(matrix) -> np.ndarray:
     if sp.issparse(matrix):
         return np.asarray(matrix.todense(), dtype=np.float64)
     return np.asarray(matrix, dtype=np.float64)
+
+
+def expand_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + lengths[i])`` into one index array.
+
+    The vectorised form of ``np.concatenate([np.arange(s, s + l) ...])`` used
+    wherever CSR row slices are gathered in bulk (mini-batch grouping, window
+    sampling).  Returns an empty int64 array when every range is empty.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    return np.repeat(starts - offsets, lengths) + np.arange(total)
+
+
+class SortedRowMembership:
+    """Vectorised ``(row, col) in matrix`` tests against a CSR pattern.
+
+    The CSR column indices, sorted within each row, concatenate into one
+    globally sorted key array ``row * (n_cols + 1) + col`` (rows appear in
+    order, columns ascend within a row), so a batch of membership queries is
+    a single :func:`numpy.searchsorted` instead of a Python loop over rows.
+    """
+
+    def __init__(self, matrix: sp.csr_matrix):
+        matrix = matrix.tocsr()
+        if not matrix.has_sorted_indices:
+            matrix = matrix.copy()
+            matrix.sort_indices()
+        self.shape = matrix.shape
+        self._indptr = matrix.indptr.astype(np.int64)
+        self._indices = matrix.indices.astype(np.int64)
+        self._stride = np.int64(matrix.shape[1] + 1)
+        row_of = np.repeat(
+            np.arange(matrix.shape[0], dtype=np.int64), np.diff(self._indptr)
+        )
+        self._keys = row_of * self._stride + self._indices
+
+    def row(self, index: int) -> np.ndarray:
+        """Sorted column indices stored in row ``index``."""
+        return self._indices[self._indptr[index]:self._indptr[index + 1]]
+
+    def contains(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Element-wise membership test, broadcasting ``rows`` against ``cols``.
+
+        ``rows`` of shape ``(b,)`` (or ``(b, 1)``) with ``cols`` of shape
+        ``(b, k)`` tests each candidate column against its row's pattern.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.ndim == 1 and cols.ndim == 2:
+            rows = rows[:, None]
+        queries = rows * self._stride + cols
+        flat = queries.ravel()
+        positions = np.searchsorted(self._keys, flat)
+        found = np.zeros(flat.shape, dtype=bool)
+        in_range = positions < len(self._keys)
+        found[in_range] = self._keys[positions[in_range]] == flat[in_range]
+        return found.reshape(queries.shape)

@@ -21,10 +21,74 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import hashlib
+from collections import OrderedDict
 
 import numpy as np
 
 _GRAD_ENABLED = [True]
+
+
+class _SelectorCache:
+    """LRU cache of sparse scatter/grouping matrices keyed by index content.
+
+    ``segment_mean`` and the large-gather backward pass both reduce to a
+    product with a CSR selector built from an integer index array.  Training
+    reuses the same index arrays every epoch (segment ids, positive pairs,
+    fixed negatives), so the selector is built once and keyed by a content
+    digest — identity-safe (in-place mutation changes the digest) and cheap
+    (hashing is a single pass; CSR construction is many).
+    """
+
+    def __init__(self, capacity: int = 32):
+        self._capacity = capacity
+        self._entries = OrderedDict()
+
+    @staticmethod
+    def _digest(index: np.ndarray) -> bytes:
+        return hashlib.blake2b(np.ascontiguousarray(index).tobytes(),
+                               digest_size=16).digest()
+
+    def get(self, index: np.ndarray, num_rows: int, builder):
+        key = (self._digest(index), num_rows, len(index))
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = builder()
+            self._entries[key] = entry
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return entry
+
+    def clear(self):
+        self._entries.clear()
+
+
+_selector_cache = _SelectorCache()
+
+
+def clear_selector_cache():
+    """Drop all cached selectors (e.g. between unrelated fits, so arrays from
+    a finished training run are not retained for the process lifetime)."""
+    _selector_cache.clear()
+
+
+def _grouping_selector(index: np.ndarray, num_rows: int):
+    """Cached ``(num_rows, len(index))`` CSR with a 1 at ``(index[j], j)``.
+
+    ``selector @ M`` scatter-adds rows of ``M`` into ``num_rows`` buckets —
+    the vectorised form of ``np.add.at(out, index, M)``.
+    """
+    import scipy.sparse as sp
+
+    def build():
+        return sp.csr_matrix(
+            (np.ones(len(index)), (index, np.arange(len(index)))),
+            shape=(num_rows, len(index)),
+        )
+
+    return _selector_cache.get(index, num_rows, build)
 
 
 @contextlib.contextmanager
@@ -301,14 +365,9 @@ class Tensor:
             if (isinstance(index, np.ndarray) and index.ndim == 1
                     and g.ndim == 2 and len(shape) == 2 and len(index) > 4096):
                 # Large fancy-index gathers (SGNS batches) scatter much faster
-                # as a sparse grouping matmul than via np.add.at.
-                import scipy.sparse as sp
-
-                selector = sp.csr_matrix(
-                    (np.ones(len(index)), (index, np.arange(len(index)))),
-                    shape=(shape[0], len(index)),
-                )
-                return (selector @ g,)
+                # as a sparse grouping matmul than via np.add.at; the selector
+                # is cached across epochs since the index arrays recur.
+                return (_grouping_selector(index, shape[0]) @ g,)
             grad = np.zeros(shape, dtype=np.float64)
             np.add.at(grad, index, g)
             return (grad,)
@@ -488,8 +547,10 @@ def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> 
     counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
     safe_counts = np.maximum(counts, 1.0)
 
-    sums = np.zeros((num_segments, values.shape[1]), dtype=np.float64)
-    np.add.at(sums, segment_ids, values.data)
+    # The pooling runs every epoch with the same segment ids; the cached CSR
+    # selector turns the scatter-add into one sparse matmul (np.add.at is a
+    # non-vectorised ufunc loop and dominates the forward pass otherwise).
+    sums = _grouping_selector(segment_ids, num_segments) @ values.data
     data = sums / safe_counts[:, None]
 
     def backward(g):

@@ -1,0 +1,16 @@
+"""Performance harness: stage timers, throughput counters, JSON reporters.
+
+``repro bench`` (see :mod:`repro.cli`) and the env-gated
+``benchmarks/perf`` pytest tier both drive :func:`run_pipeline_bench`, which
+times every pipeline stage (walks → contexts → co-occurrence → sampler build
+→ epoch step) and the vectorised-vs-reference microbenchmarks, emitting
+``BENCH_pipeline.json`` so the perf trajectory is tracked across PRs.
+"""
+
+from repro.perf.bench import (
+    run_microbenchmarks,
+    run_pipeline_bench,
+    write_report,
+)
+
+__all__ = ["run_pipeline_bench", "run_microbenchmarks", "write_report"]

@@ -1,0 +1,303 @@
+"""Pipeline stage benchmark + vectorised-vs-reference microbenchmarks.
+
+The stage benchmark times each pre-processing stage standalone (walks →
+contexts → attribute-context matrices → co-occurrence → sampler build), then
+times training epochs through a real ``CoANE.fit`` using history hooks, and
+reports wall-seconds plus throughput per stage.  The microbenchmarks compare
+every vectorised hot path against its seed row-loop reference from
+:mod:`repro.perf.reference` on identical inputs, recording the speedup — the
+numbers ``BENCH_pipeline.json`` tracks across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import CoANE, CoANEConfig
+from repro.core.negative_sampling import _ExclusionIndex, _context_membership
+from repro.core.trainer import _SegmentGroups
+from repro.perf import reference
+from repro.utils.alias import AliasTable
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.walks.contexts import attribute_context_matrices, extract_contexts
+from repro.walks.cooccurrence import _topk_rows_csr, build_cooccurrence
+from repro.walks.random_walk import RandomWalker
+
+
+def _bench_config(seed: int, epochs: int, batch_size=None, **overrides) -> CoANEConfig:
+    """The Fig. 4d link-prediction profile: one walk per node, t = 1e-5."""
+    base = dict(num_walks=1, subsample_t=1e-5, epochs=epochs, seed=seed,
+                batch_size=batch_size)
+    base.update(overrides)
+    return CoANEConfig(**base)
+
+
+def _load_graph(dataset: str, scale: float, seed: int):
+    from repro.graph import load_dataset
+
+    return load_dataset(dataset, seed=seed, scale=scale)
+
+
+def _stage_entry(seconds: float, items: int, unit: str) -> dict:
+    return {
+        "seconds": seconds,
+        "items": int(items),
+        "throughput": (items / seconds) if seconds > 0 else None,
+        "unit": unit,
+    }
+
+
+def _time_epochs(graph, config: CoANEConfig) -> tuple:
+    """Fit ``config`` on ``graph``; return (mean epoch seconds, epochs timed).
+
+    Per-epoch boundaries come from history hooks, so the measurement excludes
+    pre-processing (charged to the dedicated stage timers instead).
+    """
+    marks = []
+    config.history_hooks.append(lambda epoch, Z: marks.append(time.perf_counter()))
+    CoANE(config).fit(graph)
+    if len(marks) < 2:
+        return None, 0
+    deltas = np.diff(marks)
+    return float(deltas.mean()), len(deltas)
+
+
+def run_pipeline_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
+                       epochs: int = 3, batch_size: int = 256, graph=None,
+                       micro: bool = True, **config_overrides) -> dict:
+    """Time every pipeline stage on a dataset analog; return the report dict.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset analog name (see ``repro.graph.dataset_names``); ignored when
+        ``graph`` is passed directly.
+    scale:
+        Node-count multiplier for the analog.
+    epochs:
+        Training epochs per timing fit (needs >= 2 for a per-epoch estimate).
+    batch_size:
+        Batch size for the mini-batch epoch stage; ``None`` or 0 skips it.
+    micro:
+        Also run the vectorised-vs-reference microbenchmarks.
+    """
+    if graph is None:
+        if dataset is None:
+            raise ValueError("pass either dataset or graph")
+        graph = _load_graph(dataset, scale, seed)
+    cfg = _bench_config(seed, epochs, **config_overrides)
+    rng = ensure_rng(seed)
+    n = graph.num_nodes
+    timer = Timer()
+    stages = {}
+
+    with timer.stage("walks"):
+        walker = RandomWalker(graph, seed=seed)
+        walks = walker.walk(cfg.walk_length, num_walks=cfg.num_walks)
+    stages["walks"] = _stage_entry(timer.stages["walks"], len(walks), "walks/s")
+
+    with timer.stage("contexts"):
+        context_set = extract_contexts(walks, cfg.context_size, n,
+                                       subsample_t=cfg.subsample_t, seed=seed)
+    stages["contexts"] = _stage_entry(timer.stages["contexts"],
+                                      context_set.num_contexts, "contexts/s")
+
+    with timer.stage("context_matrices"):
+        contexts_flat = attribute_context_matrices(context_set, graph.attributes)
+    stages["context_matrices"] = _stage_entry(timer.stages["context_matrices"],
+                                              context_set.num_contexts, "contexts/s")
+
+    with timer.stage("cooccurrence"):
+        cooccurrence = build_cooccurrence(context_set, graph)
+    stages["cooccurrence"] = _stage_entry(timer.stages["cooccurrence"],
+                                          cooccurrence.D.nnz, "nonzeros/s")
+
+    with timer.stage("sampler_build"):
+        sampler = _make_sampler(cooccurrence, context_set, graph, cfg, seed)
+        negatives = sampler.sample(np.arange(n))
+    stages["sampler_build"] = _stage_entry(timer.stages["sampler_build"],
+                                           negatives.size, "negatives/s")
+
+    with timer.stage("epoch_full_batch"):
+        epoch_seconds, timed = _time_epochs(graph, _bench_config(seed, epochs,
+                                                                 **config_overrides))
+    stages["epoch_full_batch"] = {
+        "seconds": epoch_seconds,
+        "items": timed,
+        "throughput": (1.0 / epoch_seconds) if epoch_seconds else None,
+        "unit": "epochs/s",
+    }
+
+    if batch_size:
+        with timer.stage("epoch_mini_batch"):
+            mb_seconds, mb_timed = _time_epochs(
+                graph, _bench_config(seed, epochs, batch_size=batch_size,
+                                     **config_overrides))
+        stages["epoch_mini_batch"] = {
+            "seconds": mb_seconds,
+            "items": mb_timed,
+            "throughput": (1.0 / mb_seconds) if mb_seconds else None,
+            "unit": "epochs/s",
+        }
+
+    report = {
+        "benchmark": "pipeline",
+        "dataset": graph.name,
+        "scale": scale,
+        "seed": seed,
+        "num_nodes": n,
+        "num_edges": graph.num_edges,
+        "num_contexts": context_set.num_contexts,
+        "config": {
+            "walk_length": cfg.walk_length,
+            "num_walks": cfg.num_walks,
+            "context_size": cfg.context_size,
+            "epochs": epochs,
+            "batch_size": batch_size,
+        },
+        "stages": stages,
+    }
+    if micro:
+        report["micro"] = run_microbenchmarks(
+            graph, context_set=context_set, cooccurrence=cooccurrence,
+            batch_size=batch_size or 256, seed=seed, rng=rng,
+        )
+    return report
+
+
+def _make_sampler(cooccurrence, context_set, graph, cfg, seed):
+    from repro.core.negative_sampling import ContextualNegativeSampler
+
+    mode = cfg.resolve_sampling(graph.density)
+    return ContextualNegativeSampler(
+        cooccurrence.D, context_set.counts(), cfg.num_negative, mode=mode,
+        pool_size=cfg.negative_pool_size, adjacency=graph.adjacency, seed=seed,
+    )
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_microbenchmarks(graph, context_set=None, cooccurrence=None,
+                        batch_size: int = 256, seed: int = 0, rng=None,
+                        repeats: int = 3) -> dict:
+    """Time each vectorised hot path against its seed row-loop reference.
+
+    Returns ``{name: {reference_s, vectorized_s, speedup}}``; inputs are
+    identical for both sides of every comparison.
+    """
+    rng = ensure_rng(rng if rng is not None else seed)
+    n = graph.num_nodes
+    if context_set is None or cooccurrence is None:
+        cfg = _bench_config(seed, epochs=2)
+        walks = RandomWalker(graph, seed=seed).walk(cfg.walk_length,
+                                                    num_walks=cfg.num_walks)
+        context_set = extract_contexts(walks, cfg.context_size, n,
+                                       subsample_t=cfg.subsample_t, seed=seed)
+        cooccurrence = build_cooccurrence(context_set, graph)
+    results = {}
+
+    # --- sampler: exclusion membership test --------------------------------
+    membership = _context_membership(cooccurrence.D, graph.adjacency)
+    exclusion = _ExclusionIndex(membership)
+    batch = rng.choice(n, size=min(n, 512), replace=False)
+    candidates = rng.integers(0, n, size=(len(batch), 60))
+    results["sampler_exclusion"] = _compare(
+        lambda: reference.excluded_rowloop(membership, batch, candidates),
+        lambda: exclusion.excluded(batch, candidates),
+        repeats,
+    )
+
+    # --- sampler: noise-distribution draw ----------------------------------
+    from repro.core.negative_sampling import default_pool_size
+
+    probabilities = context_set.sampling_distribution()
+    pool_size = default_pool_size(20, n)
+    table = AliasTable(probabilities)
+    draw_rng_a, draw_rng_b = ensure_rng(seed), ensure_rng(seed)
+    results["sampler_pool_draw"] = _compare(
+        lambda: reference.choice_draw(draw_rng_a, probabilities, pool_size),
+        lambda: table.sample(draw_rng_b, pool_size),
+        repeats,
+    )
+
+    # --- trainer: mini-batch grouping --------------------------------------
+    segment_ids = context_set.midst
+    groups = _SegmentGroups(segment_ids, n)
+    permutation = rng.permutation(n)
+    batches = [np.sort(permutation[s:s + batch_size])
+               for s in range(0, n, batch_size)]
+    results["minibatch_grouping"] = _compare(
+        lambda: [reference.minibatch_rows_isin(segment_ids, b) for b in batches],
+        lambda: [(r, np.repeat(np.arange(len(b)), c))
+                 for b in batches for r, c in [groups.rows_for(b)]],
+        repeats,
+    )
+
+    # --- trainer: negative-sample local remap ------------------------------
+    targets = np.arange(n)
+    negatives = rng.integers(0, n, size=(n, 20))
+    def _vector_remap():
+        inverse = np.full(n, -1, dtype=np.int64)
+        inverse[targets] = np.arange(n)
+        return inverse[negatives]
+    results["negative_remap"] = _compare(
+        lambda: reference.negative_local_dictloop(targets, negatives),
+        _vector_remap,
+        repeats,
+    )
+
+    # --- co-occurrence: top-k truncation -----------------------------------
+    results["cooccurrence_topk"] = _compare(
+        lambda: reference.topk_rowloop(cooccurrence.D_tilde, cooccurrence.kp),
+        lambda: _topk_rows_csr(cooccurrence.D_tilde, cooccurrence.kp),
+        repeats,
+    )
+
+    # --- nn: segment-mean pooling forward ----------------------------------
+    values = rng.standard_normal((context_set.num_contexts or 1, 64))
+    ids = segment_ids if context_set.num_contexts else np.zeros(1, dtype=np.int64)
+    from repro.nn.tensor import _grouping_selector
+
+    def _selector_pool():
+        counts = np.maximum(np.bincount(ids, minlength=n), 1.0)
+        return (_grouping_selector(ids, n) @ values) / counts[:, None]
+    results["segment_mean"] = _compare(
+        lambda: reference.segment_mean_addat(values, ids, n),
+        _selector_pool,
+        repeats,
+    )
+    return results
+
+
+def _compare(reference_fn, vectorized_fn, repeats: int) -> dict:
+    reference_s = _best_of(reference_fn, repeats)
+    vectorized_s = _best_of(vectorized_fn, repeats)
+    return {
+        "reference_s": reference_s,
+        "vectorized_s": vectorized_s,
+        "speedup": (reference_s / vectorized_s) if vectorized_s > 0 else None,
+    }
+
+
+def write_report(report: dict, path: str = "BENCH_pipeline.json") -> str:
+    """Write ``report`` as JSON (appending a timestamp); return the path."""
+    report = dict(report)
+    report.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%S"))
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -1,0 +1,88 @@
+"""Seed-semantics reference implementations of the vectorised hot paths.
+
+These are the pre-vectorisation row-loop algorithms (with one documented
+tie-breaking exception, see :func:`topk_rowloop`), kept for two jobs:
+
+* **equivalence tests** — ``tests/test_vectorized_equivalence.py`` pins every
+  vectorised path to the matching function here on fixed inputs;
+* **microbenchmarks** — :func:`repro.perf.bench.run_microbenchmarks` times
+  vectorised vs. reference to record the speedup trajectory.
+
+They are deliberately *not* exported through ``repro.perf.__init__``; nothing
+on the training path may import them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def excluded_rowloop(membership: sp.csr_matrix, rows: np.ndarray,
+                     candidates: np.ndarray) -> np.ndarray:
+    """Per-row ``np.isin`` exclusion test (seed ``_ExclusionIndex.excluded``)."""
+    indptr, indices = membership.indptr, membership.indices
+    out = np.zeros(candidates.shape, dtype=bool)
+    for i, row in enumerate(rows):
+        members = indices[indptr[row]:indptr[row + 1]]
+        if len(members):
+            out[i] = np.isin(candidates[i], members)
+    return out
+
+
+def topk_rowloop(matrix: sp.csr_matrix, k: int) -> tuple:
+    """Per-row top-``k`` selection returning per-row (indices, weights) lists
+    like the seed ``build_cooccurrence`` loop.
+
+    One deliberate difference from the seed: the seed's
+    ``np.argpartition(row_vals, -kp)[-kp:]`` resolved exact-value ties
+    arbitrarily, which no vectorised implementation can be pinned against.
+    This reference (and the vectorised ``_topk_rows_csr``) both use the
+    deterministic rule *value descending, then column ascending*, so the
+    equivalence tests compare two implementations of one defined semantics.
+    Selected sets can differ from the seed only on exact ties."""
+    matrix = matrix.tocsr()
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    top_indices, top_weights = [], []
+    for node in range(matrix.shape[0]):
+        row_cols = indices[indptr[node]:indptr[node + 1]]
+        row_vals = data[indptr[node]:indptr[node + 1]]
+        if len(row_cols) > k > 0:
+            order = np.lexsort((row_cols, -row_vals))[:k]
+            row_cols = row_cols[order]
+            row_vals = row_vals[order]
+        top_indices.append(row_cols.astype(np.int64))
+        top_weights.append(row_vals.astype(np.float64))
+    return top_indices, top_weights
+
+
+def minibatch_rows_isin(segment_ids: np.ndarray, batch: np.ndarray) -> tuple:
+    """Seed mini-batch grouping: full ``np.isin`` scan over every context row
+    plus a dict-based local remap, per batch."""
+    mask = np.isin(segment_ids, batch)
+    rows = np.flatnonzero(mask)
+    local_of = {node: i for i, node in enumerate(batch)}
+    local_segments = np.array([local_of[s] for s in segment_ids[mask]], dtype=np.int64)
+    return rows, local_segments
+
+
+def negative_local_dictloop(targets: np.ndarray, negatives: np.ndarray) -> np.ndarray:
+    """Seed per-epoch negative remap: dict + nested list comprehension."""
+    local = {node: i for i, node in enumerate(targets)}
+    return np.array([[local.get(v, -1) for v in row] for row in negatives])
+
+
+def choice_draw(rng, probabilities: np.ndarray, size) -> np.ndarray:
+    """Seed noise-distribution draw: ``rng.choice(p=...)``."""
+    return rng.choice(len(probabilities), size=size, p=probabilities)
+
+
+def segment_mean_addat(values: np.ndarray, segment_ids: np.ndarray,
+                       num_segments: int) -> np.ndarray:
+    """Seed pooling forward: ``np.add.at`` scatter instead of the cached
+    CSR-selector matmul."""
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+    sums = np.zeros((num_segments, values.shape[1]), dtype=np.float64)
+    np.add.at(sums, segment_ids, values)
+    return sums / safe_counts[:, None]

@@ -1,7 +1,8 @@
 """Shared utilities: seeded RNG discipline, timing, and table printing."""
 
+from repro.utils.alias import AliasTable
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.tables import format_series, format_table
 from repro.utils.timing import Timer
 
-__all__ = ["ensure_rng", "spawn_rngs", "format_table", "format_series", "Timer"]
+__all__ = ["AliasTable", "ensure_rng", "spawn_rngs", "format_table", "format_series", "Timer"]

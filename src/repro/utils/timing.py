@@ -1,7 +1,9 @@
-"""Wall-clock timing helper used by the runtime experiment (Fig. 4d)."""
+"""Wall-clock timing helpers used by the runtime experiment (Fig. 4d) and
+the :mod:`repro.perf` pipeline benchmark."""
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 
@@ -12,10 +14,24 @@ class Timer:
     ...     _ = sum(range(10))
     >>> t.elapsed >= 0.0
     True
+
+    Named stages accumulate independently of the overall ``elapsed`` total,
+    so one timer can break a pipeline run into its phases::
+
+        timer = Timer()
+        with timer.stage("walks"):
+            ...
+        with timer.stage("walks"):   # accumulates into the same bucket
+            ...
+        timer.stages["walks"]
+
+    Re-entering a stage adds to its bucket rather than resetting it, which is
+    what per-epoch loops need.
     """
 
     def __init__(self):
         self.elapsed = 0.0
+        self.stages = {}
         self._start = None
 
     def __enter__(self):
@@ -25,3 +41,23 @@ class Timer:
     def __exit__(self, exc_type, exc, tb):
         self.elapsed = time.perf_counter() - self._start
         return False
+
+    @contextlib.contextmanager
+    def stage(self, name: str):
+        """Time one named stage; repeated uses of a name accumulate."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (time.perf_counter() - start)
+
+    def total(self) -> float:
+        """Sum of all stage buckets (falls back to ``elapsed`` when no stage
+        was recorded)."""
+        return sum(self.stages.values()) if self.stages else self.elapsed
+
+    def summary(self) -> dict:
+        """Stage seconds plus their total, ready for a JSON report."""
+        report = dict(self.stages)
+        report["total"] = self.total()
+        return report

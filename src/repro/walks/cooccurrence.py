@@ -4,11 +4,17 @@
 ``D1`` keeps only the one-hop entries (``D1[i, j] = D[i, j]`` iff ``E[i, j] >
 0``).  The positive graph likelihood preserves ``D̃ = normalize(D) + D1``,
 truncated per row to the top-``k_p`` neighbors.
+
+The truncation is fully vectorised: one :func:`numpy.lexsort` orders every
+nonzero by ``(row, value desc, column asc)`` and a rank-within-row mask keeps
+the top ``k_p`` per row, with ties broken deterministically toward the lower
+column id.  ``tests/test_vectorized_equivalence.py`` pins this to the per-row
+reference selection in :mod:`repro.perf.reference`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
@@ -20,26 +26,76 @@ from repro.walks.contexts import PAD, ContextSet
 
 @dataclass
 class CooccurrenceStats:
-    """Co-occurrence matrices plus the top-``k_p`` preservation targets."""
+    """Co-occurrence matrices plus the top-``k_p`` preservation targets.
+
+    ``D_top`` holds the truncated ``D̃`` rows as a CSR matrix — the
+    canonical representation; the per-node list views ``top_indices`` /
+    ``top_weights`` are materialised lazily for inspection and tests.
+    """
 
     D: sp.csr_matrix
     D1: sp.csr_matrix
     D_tilde: sp.csr_matrix
     kp: int
-    #: Per-node arrays of (neighbor ids, D̃ weights) for the top-k_p entries.
-    top_indices: list
-    top_weights: list
+    D_top: sp.csr_matrix
+    _top_lists: tuple = field(default=None, repr=False, compare=False)
+
+    def _materialize_lists(self) -> tuple:
+        if self._top_lists is None:
+            indptr = self.D_top.indptr
+            indices = np.split(self.D_top.indices.astype(np.int64), indptr[1:-1])
+            weights = np.split(self.D_top.data.astype(np.float64), indptr[1:-1])
+            self._top_lists = (indices, weights)
+        return self._top_lists
+
+    @property
+    def top_indices(self) -> list:
+        """Per-node arrays of neighbor ids for the top-``k_p`` entries."""
+        return self._materialize_lists()[0]
+
+    @property
+    def top_weights(self) -> list:
+        """Per-node arrays of ``D̃`` weights matching :attr:`top_indices`."""
+        return self._materialize_lists()[1]
 
     def pairs(self) -> tuple:
-        """Flatten the per-node targets into (rows, cols, weights) arrays."""
-        rows = np.concatenate(
-            [np.full(len(idx), i, dtype=np.int64) for i, idx in enumerate(self.top_indices)]
-        ) if self.top_indices else np.empty(0, dtype=np.int64)
-        cols = (np.concatenate(self.top_indices) if self.top_indices
-                else np.empty(0, dtype=np.int64))
-        weights = (np.concatenate(self.top_weights) if self.top_weights
-                   else np.empty(0, dtype=np.float64))
+        """Flatten the preservation targets into (rows, cols, weights) arrays.
+
+        CSR-native: rows come from expanding ``D_top.indptr``, so no per-node
+        Python loop runs regardless of graph size.
+        """
+        indptr = self.D_top.indptr
+        rows = np.repeat(np.arange(self.D_top.shape[0], dtype=np.int64),
+                         np.diff(indptr))
+        cols = self.D_top.indices.astype(np.int64)
+        weights = self.D_top.data.astype(np.float64)
         return rows, cols, weights
+
+
+def _topk_rows_csr(matrix: sp.csr_matrix, k: int) -> sp.csr_matrix:
+    """Keep the ``k`` largest entries of every CSR row (all entries when a row
+    has at most ``k``); ties prefer the lower column id.  ``k <= 0`` keeps
+    everything (the seed's degenerate-``k_p`` behaviour)."""
+    matrix = matrix.tocsr()
+    if k <= 0 or matrix.nnz == 0:
+        return matrix.copy()
+    indptr = matrix.indptr
+    lengths = np.diff(indptr)
+    if lengths.max(initial=0) <= k:
+        return matrix.copy()
+    row_of = np.repeat(np.arange(matrix.shape[0], dtype=np.int64), lengths)
+    # Sort keys right-to-left: column asc breaks ties, value desc ranks, row
+    # groups.  Sorting within rows preserves the row boundaries of indptr.
+    order = np.lexsort((matrix.indices, -matrix.data, row_of))
+    rank = np.arange(matrix.nnz) - np.repeat(indptr[:-1], lengths)
+    keep = rank < k
+    selected = order[keep]
+    out = sp.csr_matrix(
+        (matrix.data[selected], (row_of[keep], matrix.indices[selected])),
+        shape=matrix.shape,
+    )
+    out.sort_indices()
+    return out
 
 
 def build_cooccurrence(context_set: ContextSet, graph: AttributedGraph) -> CooccurrenceStats:
@@ -76,17 +132,5 @@ def build_cooccurrence(context_set: ContextSet, graph: AttributedGraph) -> Coocc
     D_tilde = (row_normalize(D) + D1).tocsr()
     kp = context_set.max_count()
 
-    top_indices = []
-    top_weights = []
-    indptr, indices, data = D_tilde.indptr, D_tilde.indices, D_tilde.data
-    for node in range(n):
-        row_cols = indices[indptr[node]:indptr[node + 1]]
-        row_vals = data[indptr[node]:indptr[node + 1]]
-        if len(row_cols) > kp > 0:
-            keep = np.argpartition(row_vals, -kp)[-kp:]
-            row_cols = row_cols[keep]
-            row_vals = row_vals[keep]
-        top_indices.append(row_cols.astype(np.int64))
-        top_weights.append(row_vals.astype(np.float64))
-    return CooccurrenceStats(D=D, D1=D1, D_tilde=D_tilde, kp=kp,
-                             top_indices=top_indices, top_weights=top_weights)
+    D_top = _topk_rows_csr(D_tilde, kp)
+    return CooccurrenceStats(D=D, D1=D1, D_tilde=D_tilde, kp=kp, D_top=D_top)

@@ -4,6 +4,14 @@ CoANE samples first-order walks with transition probability proportional to
 edge weight (paper Sec. 3.1); node2vec, used both as a baseline and inside
 DANE/ANRL's preprocessing, biases a second-order walk with return parameter
 ``p`` and in-out parameter ``q``.
+
+Both walkers advance *all* live walks one step per call with vectorised numpy:
+the weighted first-order step searches per-row normalised cumulative weights
+(no cross-row leakage — see the regression tests for the boundary bug the
+global-cumulative variant had), and the second-order bias is applied by
+vectorised rejection sampling against a uniform proposal, which avoids the
+O(Σ deg²) per-edge alias tables of the classic node2vec preprocessing while
+drawing from exactly the same distribution.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.sparse import SortedRowMembership
 from repro.utils.rng import ensure_rng
 
 
@@ -18,8 +27,10 @@ class RandomWalker:
     """First-order weighted random walker.
 
     For the (common) unweighted case every step is a fully vectorised uniform
-    neighbor draw across all live walks; weighted graphs fall back to a
-    per-node cumulative-weight search.
+    neighbor draw across all live walks; weighted graphs use per-row
+    normalised cumulative weights packed into one monotone key array
+    ``row + cumprob`` (``cumprob ∈ (0, 1]``), so one global ``searchsorted``
+    answers every live walk's draw without mixing rows.
     """
 
     def __init__(self, graph: AttributedGraph, seed=None):
@@ -31,12 +42,33 @@ class RandomWalker:
         self._degrees = np.diff(adj.indptr)
         self._uniform = bool(np.all(adj.data == adj.data[0])) if adj.nnz else True
         if not self._uniform:
-            # Per-node cumulative transition probabilities for searchsorted.
-            cumulative = np.cumsum(adj.data)
-            self._cumweights = cumulative
-            row_totals = np.asarray(adj.sum(axis=1)).ravel()
-            self._row_offset = np.concatenate([[0.0], np.cumsum(row_totals)[:-1]])
-            self._row_totals = row_totals
+            lengths = self._degrees
+            row_of = np.repeat(np.arange(adj.shape[0], dtype=np.int64), lengths)
+            totals = np.asarray(adj.sum(axis=1)).ravel()
+            # Normalise each row FIRST, then take the cumulative: normalising
+            # after a global cumsum would subtract huge cross-row offsets from
+            # tiny row weights and destroy their precision (rows following a
+            # heavy-weight row would collapse toward uniform or, with the old
+            # global-cumulative + clip scheme, leak into the wrong neighbor).
+            zero_rows = totals <= 0
+            safe_totals = np.where(zero_rows, 1.0, totals)
+            normalized = adj.data / np.repeat(safe_totals, lengths)
+            if zero_rows.any():
+                # Zero-total rows (possible only with explicit-zero data)
+                # fall back to a uniform ramp so they stay valid targets.
+                ramp_mask = np.repeat(zero_rows, lengths)
+                within = np.arange(adj.nnz) - np.repeat(adj.indptr[:-1], lengths)
+                normalized[ramp_mask] = 1.0 / np.repeat(lengths, lengths)[ramp_mask]
+            cumulative = np.cumsum(normalized)
+            row_end = np.where(adj.indptr[1:] > 0,
+                               cumulative[np.maximum(adj.indptr[1:] - 1, 0)], 0.0)
+            offsets = np.concatenate([[0.0], row_end[:-1]])
+            cumprob = np.clip(cumulative - np.repeat(offsets, lengths), 0.0, 1.0)
+            # Anchor every row's last entry at exactly 1.0 so a draw of
+            # ``row + u`` (u < 1) can never escape its row.
+            last = adj.indptr[1:][lengths > 0] - 1
+            cumprob[last] = 1.0
+            self._keys = row_of.astype(np.float64) + cumprob
 
     def _step(self, current: np.ndarray) -> np.ndarray:
         """Advance every walk one step; dead-end walks stay in place."""
@@ -50,9 +82,8 @@ class RandomWalker:
             offsets = (self._rng.random(len(live)) * self._degrees[live]).astype(np.int64)
             next_nodes[alive] = self._indices[self._indptr[live] + offsets]
         else:
-            draws = self._row_offset[live] + self._rng.random(len(live)) * self._row_totals[live]
-            positions = np.searchsorted(self._cumweights, draws, side="right")
-            positions = np.clip(positions, self._indptr[live], self._indptr[live + 1] - 1)
+            draws = live.astype(np.float64) + self._rng.random(len(live))
+            positions = np.searchsorted(self._keys, draws, side="right")
             next_nodes[alive] = self._indices[positions]
         return next_nodes
 
@@ -90,6 +121,12 @@ class Node2VecWalker:
     t``, ``1`` if ``x`` is adjacent to ``t``, and ``1/q`` otherwise.  With
     ``p == q == 1`` the walk reduces to the first-order walker, which is the
     configuration the paper benchmarks (Sec. 4.1).
+
+    All walks advance together each step.  The biased step proposes a uniform
+    neighbor for every live walk at once and accepts it with probability
+    ``w / w_max`` (vectorised rejection sampling), re-proposing only the
+    rejected walks; ``x`` adjacent-to-``t`` tests run through the sorted-CSR
+    membership index, so no per-node Python ``set`` is kept.
     """
 
     def __init__(self, graph: AttributedGraph, p: float = 1.0, q: float = 1.0, seed=None):
@@ -100,42 +137,64 @@ class Node2VecWalker:
         self.q = q
         self._rng = ensure_rng(seed)
         self._first_order = RandomWalker(graph, seed=self._rng)
-        self._neighbor_sets = None
-        if not (p == 1.0 and q == 1.0):
-            self._neighbor_sets = [set(graph.neighbors(v).tolist()) for v in range(graph.num_nodes)]
+        self._biased = not (p == 1.0 and q == 1.0)
+        if self._biased:
+            adj = graph.adjacency
+            self._indptr = adj.indptr
+            self._indices = adj.indices
+            self._degrees = np.diff(adj.indptr)
+            self._membership = SortedRowMembership(adj)
+            self._weights = np.array([1.0 / p, 1.0, 1.0 / q])
+            self._accept = self._weights / self._weights.max()
 
     def walk(self, length: int, num_walks: int = 1, start_nodes=None) -> np.ndarray:
         """Sample biased walks; delegates to the fast path when p = q = 1."""
-        if self._neighbor_sets is None:
+        if not self._biased:
             return self._first_order.walk(length, num_walks=num_walks, start_nodes=start_nodes)
         if start_nodes is None:
             start_nodes = np.arange(self.graph.num_nodes)
         start_nodes = np.asarray(start_nodes, dtype=np.int64)
-        walks = []
+        blocks = []
         for _ in range(num_walks):
-            for start in start_nodes:
-                walks.append(self._single_walk(int(start), length))
-        return np.asarray(walks, dtype=np.int64)
+            walks = np.empty((len(start_nodes), length), dtype=np.int64)
+            walks[:, 0] = start_nodes
+            current = start_nodes.copy()
+            previous = None
+            for step in range(1, length):
+                nxt = self._biased_step(current, previous)
+                walks[:, step] = nxt
+                previous, current = current, nxt
+            blocks.append(walks)
+        return np.vstack(blocks)
 
-    def _single_walk(self, start: int, length: int) -> list:
-        walk = [start]
-        while len(walk) < length:
-            current = walk[-1]
-            neighbors = self.graph.neighbors(current)
-            if len(neighbors) == 0:
-                walk.append(current)
-                continue
-            if len(walk) == 1:
-                walk.append(int(self._rng.choice(neighbors)))
-                continue
-            previous = walk[-2]
-            prev_neighbors = self._neighbor_sets[previous]
-            weights = np.ones(len(neighbors))
-            for i, x in enumerate(neighbors):
-                if x == previous:
-                    weights[i] = 1.0 / self.p
-                elif x not in prev_neighbors:
-                    weights[i] = 1.0 / self.q
-            weights /= weights.sum()
-            walk.append(int(self._rng.choice(neighbors, p=weights)))
-        return walk
+    def _propose(self, nodes: np.ndarray) -> np.ndarray:
+        """Uniform neighbor proposal for every node (callers mask dead ends)."""
+        offsets = (self._rng.random(len(nodes)) * self._degrees[nodes]).astype(np.int64)
+        return self._indices[self._indptr[nodes] + offsets]
+
+    def _biased_step(self, current: np.ndarray, previous) -> np.ndarray:
+        """Advance all walks one biased step; dead-end walks stay in place."""
+        next_nodes = current.copy()
+        alive = self._degrees[current] > 0
+        if not alive.any():
+            return next_nodes
+        live = np.flatnonzero(alive)
+        if previous is None:
+            # First step has no second-order context: uniform neighbor draw
+            # (matching the reference scalar walker's behaviour).
+            next_nodes[live] = self._propose(current[live])
+            return next_nodes
+        pending = live
+        while len(pending):
+            proposals = self._propose(current[pending])
+            prev = previous[pending]
+            # Weight class per proposal: 0 = return (x == t), 1 = shared
+            # neighbor (x ~ t), 2 = outward.
+            classes = np.where(
+                proposals == prev, 0,
+                np.where(self._membership.contains(prev, proposals), 1, 2),
+            )
+            accepted = self._rng.random(len(pending)) < self._accept[classes]
+            next_nodes[pending[accepted]] = proposals[accepted]
+            pending = pending[~accepted]
+        return next_nodes

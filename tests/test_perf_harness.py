@@ -1,0 +1,136 @@
+"""Tests for the perf subsystem: Timer stages, the pipeline benchmark, the
+microbenchmarks, and the JSON reporter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import citation_graph
+from repro.perf import run_microbenchmarks, run_pipeline_bench, write_report
+from repro.utils import Timer
+
+
+class TestTimerStages:
+    def test_stage_records_elapsed(self):
+        timer = Timer()
+        with timer.stage("walks"):
+            _ = sum(range(100))
+        assert timer.stages["walks"] >= 0.0
+
+    def test_repeated_stage_accumulates(self):
+        timer = Timer()
+        with timer.stage("epoch"):
+            pass
+        first = timer.stages["epoch"]
+        with timer.stage("epoch"):
+            _ = sum(range(1000))
+        assert timer.stages["epoch"] >= first
+
+    def test_total_and_summary(self):
+        timer = Timer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        summary = timer.summary()
+        assert set(summary) == {"a", "b", "total"}
+        assert summary["total"] == pytest.approx(summary["a"] + summary["b"])
+
+    def test_total_falls_back_to_elapsed(self):
+        with Timer() as timer:
+            _ = sum(range(10))
+        assert timer.total() == timer.elapsed >= 0.0
+
+    def test_context_manager_unchanged(self):
+        with Timer() as timer:
+            pass
+        assert timer.elapsed >= 0.0
+        assert timer.stages == {}
+
+    def test_stage_accumulates_on_exception(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("boom"):
+                raise RuntimeError("x")
+        assert "boom" in timer.stages
+
+
+@pytest.fixture(scope="module")
+def perf_graph():
+    return citation_graph(num_nodes=60, num_classes=3, num_attributes=12, seed=0)
+
+
+class TestPipelineBench:
+    def test_report_structure(self, perf_graph):
+        report = run_pipeline_bench(graph=perf_graph, epochs=2, batch_size=16,
+                                    seed=0, walk_length=15)
+        expected_stages = {"walks", "contexts", "context_matrices",
+                           "cooccurrence", "sampler_build",
+                           "epoch_full_batch", "epoch_mini_batch"}
+        assert expected_stages <= set(report["stages"])
+        for name in ("walks", "contexts", "cooccurrence", "sampler_build"):
+            stage = report["stages"][name]
+            assert stage["seconds"] >= 0.0
+            assert stage["throughput"] is None or stage["throughput"] > 0
+        assert report["stages"]["walks"]["unit"] == "walks/s"
+        assert report["stages"]["contexts"]["unit"] == "contexts/s"
+        assert report["stages"]["epoch_full_batch"]["unit"] == "epochs/s"
+        assert report["num_nodes"] == perf_graph.num_nodes
+
+    def test_micro_section_present_with_speedups(self, perf_graph):
+        report = run_pipeline_bench(graph=perf_graph, epochs=2, batch_size=16,
+                                    seed=0, walk_length=15)
+        expected = {"sampler_exclusion", "sampler_pool_draw",
+                    "minibatch_grouping", "negative_remap",
+                    "cooccurrence_topk", "segment_mean"}
+        assert expected <= set(report["micro"])
+        for entry in report["micro"].values():
+            assert entry["reference_s"] >= 0.0
+            assert entry["vectorized_s"] >= 0.0
+            assert entry["speedup"] is None or entry["speedup"] > 0
+
+    def test_micro_disabled(self, perf_graph):
+        report = run_pipeline_bench(graph=perf_graph, epochs=2, batch_size=0,
+                                    micro=False, walk_length=15)
+        assert "micro" not in report
+        assert "epoch_mini_batch" not in report["stages"]
+
+    def test_requires_dataset_or_graph(self):
+        with pytest.raises(ValueError):
+            run_pipeline_bench()
+
+    def test_microbenchmarks_standalone(self, perf_graph):
+        micro = run_microbenchmarks(perf_graph, batch_size=16, seed=0, repeats=1)
+        assert "sampler_exclusion" in micro
+
+    def test_write_report_roundtrip(self, perf_graph, tmp_path):
+        report = run_pipeline_bench(graph=perf_graph, epochs=2, batch_size=0,
+                                    micro=False, walk_length=15)
+        path = write_report(report, str(tmp_path / "BENCH_pipeline.json"))
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["benchmark"] == "pipeline"
+        assert "timestamp" in loaded
+        assert loaded["stages"].keys() == report["stages"].keys()
+
+
+class TestBenchCLI:
+    def test_bench_subcommand_runs(self, tmp_path, capsys):
+        from repro.cli import run
+
+        output = tmp_path / "BENCH_pipeline.json"
+        code = run(["bench", "--dataset", "webkb-cornell", "--scale", "0.4",
+                    "--epochs", "2", "--batch-size", "16",
+                    "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "pipeline bench" in out
+        assert "speedup" in out
+
+    def test_legacy_cli_still_routes(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["--dataset", "cora"])
+        assert args.method == "coane"

@@ -1,0 +1,436 @@
+"""Equivalence and property tests pinning the vectorised hot paths to the
+seed reference semantics (see ``repro.perf.reference``).
+
+Covers: the sorted-CSR exclusion test, top-``k_p`` truncation incl. tie
+handling, CSR-native pairs, mini-batch grouping, the per-row weighted-walk
+fix, the rejection-sampling node2vec walker, vectorised one-hop contexts,
+the alias table, and the sampler exclusion guarantees.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import CoANE, CoANEConfig
+from repro.core.negative_sampling import (
+    ContextualNegativeSampler,
+    UniformNegativeSampler,
+    _context_membership,
+    _ExclusionIndex,
+    default_pool_size,
+)
+from repro.core.trainer import _onehop_contexts, _SegmentGroups
+from repro.graph import AttributedGraph
+from repro.graph.sparse import SortedRowMembership
+from repro.perf import reference
+from repro.utils.alias import AliasTable
+from repro.walks.cooccurrence import _topk_rows_csr, build_cooccurrence
+from repro.walks.contexts import PAD, extract_contexts
+from repro.walks.random_walk import Node2VecWalker, RandomWalker
+
+
+def _random_membership(n, density, seed):
+    rng = np.random.default_rng(seed)
+    matrix = sp.random(n, n, density=density, random_state=seed, format="csr")
+    matrix.data[:] = 1.0
+    # Blank a few rows so the empty-row path is always exercised.
+    blank = rng.choice(n, size=max(1, n // 10), replace=False)
+    dense = matrix.toarray()
+    dense[blank] = 0.0
+    return sp.csr_matrix(dense)
+
+
+def _random_graph(n=40, seed=0, weighted=False):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.15).astype(float)
+    if weighted:
+        dense *= rng.random((n, n)) * 10
+    np.fill_diagonal(dense, 0.0)
+    dense = np.maximum(dense, dense.T)
+    # Ensure no isolated nodes for walk-based tests.
+    for i in range(n):
+        if dense[i].sum() == 0:
+            j = (i + 1) % n
+            dense[i, j] = dense[j, i] = 1.0
+    return AttributedGraph(dense, rng.random((n, 3)))
+
+
+class TestExclusionIndex:
+    @pytest.mark.parametrize("density", [0.0, 0.05, 0.4])
+    def test_matches_rowloop_reference(self, density):
+        membership = _random_membership(50, density, seed=3)
+        index = _ExclusionIndex(membership)
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 50, size=32)
+        candidates = rng.integers(0, 50, size=(32, 11))
+        expected = reference.excluded_rowloop(membership, rows, candidates)
+        np.testing.assert_array_equal(index.excluded(rows, candidates), expected)
+
+    def test_complement_matches_setdiff(self):
+        membership = _random_membership(30, 0.2, seed=1)
+        index = _ExclusionIndex(membership)
+        for row in range(30):
+            members = membership.indices[
+                membership.indptr[row]:membership.indptr[row + 1]]
+            expected = np.setdiff1d(np.arange(30), members)
+            np.testing.assert_array_equal(index.complement(row), expected)
+
+    def test_sorted_row_membership_contains(self):
+        matrix = _random_membership(25, 0.3, seed=2)
+        dense = matrix.toarray() > 0
+        index = SortedRowMembership(matrix)
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 25, size=60)
+        cols = rng.integers(0, 25, size=60)
+        np.testing.assert_array_equal(index.contains(rows, cols), dense[rows, cols])
+
+
+class TestTopK:
+    def _random_csr(self, n, seed, with_ties=False):
+        rng = np.random.default_rng(seed)
+        matrix = sp.random(n, n, density=0.3, random_state=seed, format="csr")
+        if with_ties:
+            # Quantise values so exact ties are common.
+            matrix.data = np.ceil(matrix.data * 3)
+        return matrix
+
+    @pytest.mark.parametrize("k", [0, 1, 3, 100])
+    @pytest.mark.parametrize("with_ties", [False, True])
+    def test_matches_rowloop_reference(self, k, with_ties):
+        matrix = self._random_csr(30, seed=5, with_ties=with_ties)
+        expected_idx, expected_val = reference.topk_rowloop(matrix, k)
+        result = _topk_rows_csr(matrix, k)
+        for node in range(30):
+            got_cols = result.indices[result.indptr[node]:result.indptr[node + 1]]
+            got_vals = result.data[result.indptr[node]:result.indptr[node + 1]]
+            order = np.argsort(expected_idx[node])
+            np.testing.assert_array_equal(got_cols, expected_idx[node][order])
+            np.testing.assert_allclose(got_vals, expected_val[node][order])
+
+    def test_tie_break_prefers_lower_column(self):
+        row = np.zeros((1, 6))
+        row[0, 1:] = 2.0  # five equal entries in columns 1..5
+        result = _topk_rows_csr(sp.csr_matrix(row), 2)
+        np.testing.assert_array_equal(result.indices, [1, 2])
+
+    def test_pairs_matches_top_lists(self):
+        graph = _random_graph(25, seed=4)
+        walks = RandomWalker(graph, seed=0).walk(20, num_walks=2)
+        cs = extract_contexts(walks, 5, graph.num_nodes, subsample_t=1.0, seed=0)
+        stats = build_cooccurrence(cs, graph)
+        rows, cols, weights = stats.pairs()
+        offset = 0
+        for node, (idx, val) in enumerate(zip(stats.top_indices, stats.top_weights)):
+            np.testing.assert_array_equal(rows[offset:offset + len(idx)], node)
+            np.testing.assert_array_equal(cols[offset:offset + len(idx)], idx)
+            np.testing.assert_allclose(weights[offset:offset + len(idx)], val)
+            offset += len(idx)
+        assert offset == len(rows)
+
+    def test_rows_never_exceed_kp(self):
+        graph = _random_graph(30, seed=9)
+        walks = RandomWalker(graph, seed=1).walk(30, num_walks=2)
+        cs = extract_contexts(walks, 5, graph.num_nodes, subsample_t=1.0, seed=1)
+        stats = build_cooccurrence(cs, graph)
+        assert stats.kp > 0
+        lengths = np.diff(stats.D_top.indptr)
+        assert lengths.max() <= stats.kp
+
+
+class TestSamplerGuarantees:
+    def _setup(self, seed, n=35):
+        graph = _random_graph(n, seed=seed)
+        walks = RandomWalker(graph, seed=seed).walk(12, num_walks=1)
+        cs = extract_contexts(walks, 5, n, subsample_t=1.0, seed=seed)
+        stats = build_cooccurrence(cs, graph)
+        return graph, cs, stats
+
+    @staticmethod
+    def _coverable(membership, n):
+        """Nodes whose exclusion set leaves a non-empty complement — the only
+        ones the guarantee can hold for (everything-co-occurs rows fall back
+        to unrestricted resampling by design)."""
+        return np.flatnonzero(np.diff(membership.indptr) < n)
+
+    @pytest.mark.parametrize("mode", ["pre", "batch"])
+    def test_contextual_negatives_respect_exclusions(self, mode):
+        graph, cs, stats = self._setup(seed=11)
+        membership = _context_membership(stats.D, graph.adjacency)
+        nodes = self._coverable(membership, graph.num_nodes)
+        assert len(nodes) >= graph.num_nodes // 2  # setup must be meaningful
+        sampler = ContextualNegativeSampler(
+            stats.D, cs.counts(), num_negative=4, mode=mode,
+            adjacency=graph.adjacency, seed=0)
+        negatives = sampler.sample(nodes)
+        assert negatives.shape == (len(nodes), 4)
+        D = stats.D.toarray()
+        adj = graph.adjacency.toarray()
+        for i, node in enumerate(nodes):
+            for neg in negatives[i]:
+                assert neg != node, "diagonal must be excluded"
+                assert D[node, neg] == 0, "context members must be excluded"
+                assert adj[node, neg] == 0, "graph neighbors must be excluded"
+
+    def test_uniform_negatives_respect_exclusions(self):
+        graph, cs, stats = self._setup(seed=13)
+        membership = _context_membership(stats.D, graph.adjacency)
+        nodes = self._coverable(membership, graph.num_nodes)
+        assert len(nodes) >= graph.num_nodes // 2
+        sampler = UniformNegativeSampler(stats.D, num_negative=3,
+                                         adjacency=graph.adjacency, seed=0)
+        negatives = sampler.sample(nodes)
+        D = stats.D.toarray()
+        for i, node in enumerate(nodes):
+            assert node not in negatives[i]
+            assert (D[node, negatives[i]] == 0).all()
+
+    def test_pool_size_scales_with_graph(self):
+        assert default_pool_size(20, 50) == 400
+        assert default_pool_size(20, 10000) == 40000
+        assert default_pool_size(2, 10) == 200  # seed floor preserved
+        sampler = ContextualNegativeSampler(
+            sp.csr_matrix((500, 500)), np.ones(500), num_negative=2,
+            mode="pre", seed=0)
+        assert sampler.pool_size == 2000
+        assert len(sampler._pool) == 2000
+
+    def test_pool_size_exposed_in_config(self, tiny_graph):
+        cfg = CoANEConfig(embedding_dim=8, epochs=1, walk_length=10,
+                          decoder_hidden=8, seed=0, sampling="pre",
+                          negative_pool_size=321)
+        model = CoANE(cfg).fit(tiny_graph)
+        sampler = model._build_sampler(model.cooccurrence_, model.context_set_,
+                                       tiny_graph, np.random.default_rng(0))
+        assert sampler.pool_size == 321
+        with pytest.raises(ValueError):
+            CoANEConfig(negative_pool_size=0).validate()
+
+    def test_seeded_determinism(self):
+        graph, cs, stats = self._setup(seed=17)
+        draws = []
+        for _ in range(2):
+            sampler = ContextualNegativeSampler(
+                stats.D, cs.counts(), num_negative=3, mode="pre",
+                adjacency=graph.adjacency, seed=42)
+            draws.append(sampler.sample(np.arange(graph.num_nodes)))
+        np.testing.assert_array_equal(draws[0], draws[1])
+
+
+class TestSegmentGroups:
+    @pytest.mark.parametrize("presorted", [True, False])
+    def test_matches_isin_reference(self, presorted):
+        rng = np.random.default_rng(3)
+        n = 60
+        segment_ids = rng.integers(0, n, size=400)
+        if presorted:
+            segment_ids = np.sort(segment_ids)
+        groups = _SegmentGroups(segment_ids, n)
+        for batch_seed in range(4):
+            batch = np.sort(np.random.default_rng(batch_seed).choice(
+                n, size=17, replace=False))
+            expected_rows, expected_locals = reference.minibatch_rows_isin(
+                segment_ids, batch)
+            rows, counts = groups.rows_for(batch)
+            np.testing.assert_array_equal(np.sort(rows), np.sort(expected_rows))
+            np.testing.assert_array_equal(segment_ids[rows],
+                                          batch[np.repeat(np.arange(len(batch)), counts)])
+            if presorted:
+                # Sorted ids reproduce the np.isin ordering exactly.
+                np.testing.assert_array_equal(rows, expected_rows)
+                np.testing.assert_array_equal(
+                    np.repeat(np.arange(len(batch)), counts), expected_locals)
+
+    def test_empty_overlap(self):
+        groups = _SegmentGroups(np.array([5, 5, 6]), 10)
+        rows, counts = groups.rows_for(np.array([0, 1, 2]))
+        assert len(rows) == 0
+        assert counts.sum() == 0
+
+    def test_negative_remap_matches_dictloop(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        targets = np.sort(rng.choice(n, size=20, replace=False))
+        negatives = rng.integers(0, n, size=(20, 6))
+        inverse = np.full(n, -1, dtype=np.int64)
+        inverse[targets] = np.arange(len(targets))
+        np.testing.assert_array_equal(
+            inverse[negatives],
+            reference.negative_local_dictloop(targets, negatives))
+
+
+class TestWeightedWalkRegression:
+    def test_extreme_magnitude_rows_keep_their_distribution(self):
+        # Seed bug: the global cumulative + clip scheme let the draw of a
+        # tiny-total row collapse onto the previous row's boundary and pick
+        # the *last* neighbor regardless of weight.  Row 2's true
+        # distribution is 99% -> node 3, 1% -> node 4.
+        adj = np.zeros((5, 5))
+        adj[0, 1] = adj[1, 0] = 1e12
+        adj[2, 3] = adj[3, 2] = 9.9e-13
+        adj[2, 4] = adj[4, 2] = 1e-14
+        graph = AttributedGraph(adj, np.eye(5))
+        walks = RandomWalker(graph, seed=0).walk(2, num_walks=400, start_nodes=[2])
+        frac_to_3 = (walks[:, 1] == 3).mean()
+        assert frac_to_3 > 0.9
+
+    def test_skewed_weights_match_per_row_distribution(self):
+        graph = _random_graph(12, seed=21, weighted=True)
+        adj = graph.adjacency
+        walker = RandomWalker(graph, seed=5)
+        for node in range(graph.num_nodes):
+            neighbors = adj.indices[adj.indptr[node]:adj.indptr[node + 1]]
+            weights = adj.data[adj.indptr[node]:adj.indptr[node + 1]]
+            if len(neighbors) < 2:
+                continue
+            walks = walker.walk(2, num_walks=600, start_nodes=[node])
+            expected = weights / weights.sum()
+            for neighbor, probability in zip(neighbors, expected):
+                observed = (walks[:, 1] == neighbor).mean()
+                assert abs(observed - probability) < 0.08
+
+    def test_steps_stay_on_edges(self):
+        graph = _random_graph(20, seed=2, weighted=True)
+        walks = RandomWalker(graph, seed=3).walk(15, num_walks=2)
+        for walk in walks:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert graph.has_edge(a, b) or a == b
+
+    def test_seeded_determinism(self):
+        graph = _random_graph(15, seed=8, weighted=True)
+        a = RandomWalker(graph, seed=9).walk(10, num_walks=2)
+        b = RandomWalker(graph, seed=9).walk(10, num_walks=2)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNode2VecVectorized:
+    def test_second_order_distribution_on_path(self):
+        # Path 0-1-2: from the state (t=0, v=1) the unnormalised weights are
+        # 1/p for returning to 0 and 1/q for advancing to 2.
+        p, q = 4.0, 1.0
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        adj[1, 2] = adj[2, 1] = 1.0
+        graph = AttributedGraph(adj, np.eye(3))
+        walker = Node2VecWalker(graph, p=p, q=q, seed=0)
+        walks = walker.walk(3, num_walks=3000, start_nodes=[0])
+        returns = (walks[:, 2] == 0).mean()
+        expected = (1 / p) / (1 / p + 1 / q)
+        assert abs(returns - expected) < 0.04
+
+    def test_biased_walks_follow_edges(self):
+        graph = _random_graph(25, seed=6)
+        walks = Node2VecWalker(graph, p=0.5, q=2.0, seed=1).walk(12, num_walks=2)
+        assert walks.shape == (50, 12)
+        for walk in walks:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert graph.has_edge(a, b) or a == b
+
+    def test_all_walks_advance_together_deterministically(self):
+        graph = _random_graph(20, seed=7)
+        a = Node2VecWalker(graph, p=2.0, q=0.5, seed=3).walk(8, num_walks=2)
+        b = Node2VecWalker(graph, p=2.0, q=0.5, seed=3).walk(8, num_walks=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dead_end_stays_put(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        graph = AttributedGraph(adj, np.eye(3))
+        walks = Node2VecWalker(graph, p=0.5, q=2.0, seed=0).walk(5, start_nodes=[2])
+        np.testing.assert_array_equal(walks[0], [2, 2, 2, 2, 2])
+
+
+class TestOnehopContextsVectorized:
+    def test_window_structure(self):
+        graph = _random_graph(30, seed=14)
+        rng = np.random.default_rng(0)
+        cs = _onehop_contexts(graph, 5, rng)
+        assert (cs.counts() >= 1).all()
+        half = 2
+        adj = graph.adjacency.toarray() > 0
+        for window, midst in zip(cs.windows, cs.midst):
+            assert window[half] == midst
+            fills = np.delete(window, half)
+            for value in fills:
+                if value != PAD:
+                    assert adj[midst, value]
+
+    def test_window_count_matches_degree(self):
+        graph = _random_graph(25, seed=15)
+        cs = _onehop_contexts(graph, 5, np.random.default_rng(1))
+        degrees = np.diff(graph.adjacency.indptr)
+        expected = np.maximum(1, -(-degrees // 4))
+        np.testing.assert_array_equal(cs.counts(), expected)
+
+    def test_high_degree_windows_sample_without_replacement(self):
+        n = 12
+        adj = np.ones((n, n)) - np.eye(n)  # complete graph, degree 11 >= c-1
+        graph = AttributedGraph(adj, np.eye(n))
+        cs = _onehop_contexts(graph, 5, np.random.default_rng(2))
+        half = 2
+        for window in cs.windows:
+            fills = np.delete(window, half)
+            assert len(np.unique(fills)) == len(fills)
+
+    def test_isolated_node_padded_window(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        graph = AttributedGraph(adj, np.eye(3))
+        cs = _onehop_contexts(graph, 3, np.random.default_rng(0))
+        window = cs.contexts_of(2)[0]
+        np.testing.assert_array_equal(window, [PAD, 2, PAD])
+
+
+class TestAliasTable:
+    def test_empirical_distribution(self):
+        probabilities = np.array([0.5, 0.25, 0.15, 0.1, 0.0])
+        table = AliasTable(probabilities)
+        draws = table.sample(np.random.default_rng(0), 40000)
+        observed = np.bincount(draws, minlength=5) / 40000
+        np.testing.assert_allclose(observed, probabilities, atol=0.02)
+        assert (draws != 4).all()  # zero-probability outcome never drawn
+
+    def test_all_zero_degrades_to_uniform(self):
+        table = AliasTable(np.zeros(4))
+        draws = table.sample(np.random.default_rng(1), 8000)
+        observed = np.bincount(draws, minlength=4) / 8000
+        np.testing.assert_allclose(observed, 0.25, atol=0.03)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([0.5, -0.1]))
+
+    def test_seeded_determinism_and_shape(self):
+        table = AliasTable(np.array([1.0, 2.0, 3.0]))
+        a = table.sample(np.random.default_rng(5), (7, 3))
+        b = table.sample(np.random.default_rng(5), (7, 3))
+        assert a.shape == (7, 3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSegmentMeanSelectorCache:
+    def test_matches_addat_reference(self):
+        from repro.nn import Tensor, segment_mean
+
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal((40, 6))
+        ids = np.sort(rng.integers(0, 9, size=40))
+        expected = reference.segment_mean_addat(values, ids, 9)
+        result = segment_mean(Tensor(values), ids, 9)
+        np.testing.assert_allclose(result.data, expected)
+        # Second call hits the cached selector and must agree exactly.
+        again = segment_mean(Tensor(values), ids, 9)
+        np.testing.assert_allclose(again.data, expected)
+
+    def test_mutated_ids_invalidate_cache(self):
+        from repro.nn import Tensor, segment_mean
+
+        values = np.ones((4, 2))
+        ids = np.array([0, 0, 1, 1])
+        first = segment_mean(Tensor(values), ids, 3)
+        np.testing.assert_allclose(first.data[:2], [[1, 1], [1, 1]])
+        ids[2] = 0  # in-place mutation: the content digest must change
+        second = segment_mean(Tensor(values), ids, 3)
+        np.testing.assert_allclose(second.data[0], [1, 1])
+        np.testing.assert_allclose(second.data[2], [0, 0])

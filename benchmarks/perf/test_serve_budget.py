@@ -1,0 +1,45 @@
+"""Quick-bench tier: the serving path must stay within budget.
+
+Enable with::
+
+    REPRO_PERF_BENCH=1 PYTHONPATH=src python -m pytest benchmarks/perf -q
+
+Reuses the pipeline tier's knobs (``REPRO_BENCH_SCALE``,
+``REPRO_PERF_BUDGET_S``); the run refreshes ``BENCH_serve.json`` at the repo
+root so the serving perf trajectory is tracked in-tree alongside
+``BENCH_pipeline.json``.
+"""
+
+import os
+
+import pytest
+
+from repro.perf import run_serve_bench, write_report
+
+pytestmark = pytest.mark.slow
+
+ENABLED = os.environ.get("REPRO_PERF_BENCH") == "1"
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.mark.skipif(not ENABLED, reason="set REPRO_PERF_BENCH=1 to run the perf tier")
+def test_serve_path_within_budget():
+    report = run_serve_bench(dataset="pubmed",
+                             scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.25")),
+                             seed=int(os.environ.get("REPRO_BENCH_SEED", "0")),
+                             epochs=3, single_queries=50, batch_size=256)
+    path = write_report(report, os.path.join(REPO_ROOT, "BENCH_serve.json"))
+    print(f"[report written to {path}]")
+
+    budget = float(os.environ.get("REPRO_PERF_BUDGET_S", "120"))
+    assert report["train"]["seconds"] <= budget
+    assert report["checkpoint"]["save_seconds"] <= budget
+    for metric, entry in report["index"].items():
+        assert entry["build_seconds"] <= budget, metric
+        # An exact search over a scaled analog must stay interactive: the
+        # single-query path under 50 ms, and batching must never be slower
+        # per query than the single-query path (it exists to be faster).
+        assert entry["single_query_mean_s"] <= 0.05, metric
+        single_rate = 1.0 / entry["single_query_mean_s"]
+        assert entry["batched_queries_per_s"] >= single_rate, metric
+    assert report["cache"]["hit_was_cached"] is True

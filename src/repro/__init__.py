@@ -14,6 +14,11 @@ Subpackages
     The eleven competing methods of the paper's evaluation.
 ``repro.eval``
     Classification/clustering/link-prediction protocols and metrics.
+``repro.perf``
+    Stage timers, microbenchmarks, and JSON perf reports.
+``repro.serve``
+    Serving layer: checkpoints, exact top-k index, online scorers,
+    inductive inference, and the query service front door.
 """
 
 from repro.core import CoANE, CoANEConfig

@@ -1,5 +1,5 @@
 """Command-line interface: train a method on a dataset and report one task,
-or benchmark the pipeline.
+benchmark the pipeline, or export/serve a trained model.
 
 Examples::
 
@@ -8,6 +8,9 @@ Examples::
     python -m repro --dataset citeseer --method coane --task linkpred --scale 0.5
     python -m repro --linqs-dir /data/cora --linqs-name cora --method coane
     python -m repro bench --dataset pubmed --scale 1.0
+    python -m repro bench --stage serve --dataset pubmed --scale 0.5
+    python -m repro export --dataset pubmed --output pubmed.ckpt.npz
+    python -m repro query --checkpoint pubmed.ckpt.npz --node 7 --topk 10
 """
 
 from __future__ import annotations
@@ -30,8 +33,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CoANE reproduction: train an embedding method and evaluate it.",
-        epilog="Subcommand: 'repro bench ...' times the pipeline stages and "
-               "microbenchmarks (see 'repro bench --help').",
+        epilog="Subcommands: 'repro bench' times the pipeline or serving "
+               "stages, 'repro export' writes a serve checkpoint, and "
+               "'repro query' answers top-k neighbor queries from one "
+               "(see '<subcommand> --help').",
     )
     source = parser.add_argument_group("data source")
     source.add_argument("--dataset", choices=dataset_names(),
@@ -65,9 +70,11 @@ def load_graph(args):
 def build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro bench",
-        description="Time each pipeline stage and the vectorised-vs-reference "
-                    "microbenchmarks; write a JSON perf report.",
+        description="Time the training pipeline stages (--stage pipeline) or "
+                    "the serving path (--stage serve); write a JSON perf report.",
     )
+    parser.add_argument("--stage", default="pipeline", choices=["pipeline", "serve"],
+                        help="which tier to benchmark (default pipeline)")
     parser.add_argument("--dataset", default="pubmed", choices=dataset_names(),
                         help="synthetic analog to benchmark on (default pubmed)")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -76,18 +83,53 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epochs", type=int, default=3,
                         help="training epochs per timing fit (default 3)")
     parser.add_argument("--batch-size", type=int, default=256,
-                        help="mini-batch stage batch size; 0 skips it")
+                        help="pipeline: mini-batch stage batch size (0 skips it); "
+                             "serve: batched-query size")
+    parser.add_argument("--topk", type=int, default=10,
+                        help="serve stage: neighbors per query (default 10)")
     parser.add_argument("--no-micro", action="store_true",
                         help="skip the vectorised-vs-reference microbenchmarks")
-    parser.add_argument("--output", default="BENCH_pipeline.json",
-                        help="report path (default BENCH_pipeline.json)")
+    parser.add_argument("--output", default=None,
+                        help="report path (default BENCH_pipeline.json / "
+                             "BENCH_serve.json by stage)")
     return parser
+
+
+def run_serve_bench_cli(args) -> int:
+    from repro.perf import run_serve_bench, write_report
+
+    report = run_serve_bench(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        epochs=args.epochs, topk=args.topk,
+        batch_size=args.batch_size or 256,
+    )
+    rows = [["train", round(report["train"]["seconds"], 4), "-"],
+            ["checkpoint save", round(report["checkpoint"]["save_seconds"], 4), "-"],
+            ["checkpoint load", round(report["checkpoint"]["load_seconds"], 4), "-"]]
+    for metric, entry in report["index"].items():
+        rows.append([f"index build [{metric}]",
+                     round(entry["build_seconds"], 4), "-"])
+        rows.append([f"single query [{metric}]",
+                     f"{entry['single_query_mean_s']:.6f}",
+                     f"{1.0 / entry['single_query_mean_s']:.0f} queries/s"])
+        rows.append([f"batched x{entry['batch_size']} [{metric}]",
+                     round(entry["batch_seconds"], 4),
+                     f"{entry['batched_queries_per_s']:.0f} queries/s"])
+    rows.append(["cache hit", f"{report['cache']['hit_seconds']:.6f}", "-"])
+    print(format_table(["stage", "seconds", "throughput"], rows,
+                       title=f"serve bench ({report['dataset']}, "
+                             f"scale {report['scale']}, top-{report['topk']})"))
+    path = write_report(report, args.output or "BENCH_serve.json")
+    print(f"[report written to {path}]")
+    return 0
 
 
 def run_bench(argv) -> int:
     from repro.perf import run_pipeline_bench, write_report
 
     args = build_bench_parser().parse_args(argv)
+    if args.stage == "serve":
+        return run_serve_bench_cli(args)
     report = run_pipeline_bench(
         dataset=args.dataset, scale=args.scale, seed=args.seed,
         epochs=args.epochs, batch_size=args.batch_size, micro=not args.no_micro,
@@ -106,16 +148,99 @@ def run_bench(argv) -> int:
                 for name, m in report["micro"].items()]
         print(format_table(["microbenchmark", "reference s", "vectorized s", "speedup"],
                            rows, title="vectorised vs reference"))
-    path = write_report(report, args.output)
+    path = write_report(report, args.output or "BENCH_pipeline.json")
     print(f"[report written to {path}]")
     return 0
+
+
+def build_export_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro export",
+        description="Train CoANE on a dataset and write a serve checkpoint "
+                    "(weights + embeddings + config + dataset fingerprint).",
+    )
+    source = parser.add_argument_group("data source")
+    source.add_argument("--dataset", choices=dataset_names(),
+                        help="synthetic analog of a paper dataset")
+    source.add_argument("--scale", type=float, default=1.0,
+                        help="node-count multiplier for the analog (default 1.0)")
+    source.add_argument("--linqs-dir", help="directory with <name>.content/<name>.cites")
+    source.add_argument("--linqs-name", help="basename of the LINQS files")
+    parser.add_argument("--dim", type=int, default=128, help="embedding dimension")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="override the budget preset's epoch count")
+    parser.add_argument("--budget", default="bench", choices=["bench", "full"],
+                        help="training budget preset")
+    parser.add_argument("--output", default="model.ckpt.npz",
+                        help="checkpoint path (default model.ckpt.npz)")
+    return parser
+
+
+def run_export(argv) -> int:
+    from repro.core import CoANE, CoANEConfig
+    from repro.serve import Checkpoint
+
+    args = build_export_parser().parse_args(argv)
+    graph = load_graph(args)
+    print(f"Loaded {graph}")
+    epochs = args.epochs or (50 if args.budget == "full" else 30)
+    config = CoANEConfig(embedding_dim=args.dim, epochs=epochs, seed=args.seed)
+    estimator = CoANE(config).fit(graph)
+    checkpoint = Checkpoint.from_estimator(estimator, graph)
+    path = checkpoint.save(args.output)
+    print(f"[checkpoint written to {path}: {checkpoint.num_nodes} nodes x "
+          f"{checkpoint.embedding_dim} dims, fingerprint {checkpoint.fingerprint}]")
+    return 0
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description="Answer top-k nearest-neighbor queries from a serve "
+                    "checkpoint (exact search; dot / cosine / L2).",
+    )
+    parser.add_argument("--checkpoint", required=True,
+                        help="path written by 'repro export'")
+    parser.add_argument("--node", type=int, action="append", required=True,
+                        help="query node id (repeatable; queries batch together)")
+    parser.add_argument("--topk", type=int, default=10,
+                        help="neighbors per query (default 10)")
+    parser.add_argument("--metric", default="cosine", choices=["dot", "cosine", "l2"],
+                        help="similarity metric (default cosine)")
+    parser.add_argument("--include-self", action="store_true",
+                        help="keep the query node itself in its results")
+    return parser
+
+
+def run_query(argv) -> int:
+    from repro.serve import Checkpoint, EmbeddingIndex
+
+    args = build_query_parser().parse_args(argv)
+    checkpoint = Checkpoint.load(args.checkpoint)
+    index = EmbeddingIndex(checkpoint.embeddings, metric=args.metric)
+    ids, scores = index.search_ids(args.node, topk=args.topk,
+                                   exclude_self=not args.include_self)
+    rows = []
+    for row, node in enumerate(args.node):
+        for rank in range(ids.shape[1]):
+            rows.append([node, rank + 1, int(ids[row, rank]),
+                         f"{scores[row, rank]:.6f}"])
+    dataset = checkpoint.info.get("dataset", "?")
+    print(format_table(["query", "rank", "neighbor", args.metric], rows,
+                       title=f"top-{args.topk} neighbors ({dataset}, "
+                             f"{checkpoint.num_nodes} nodes)"))
+    return 0
+
+
+_SUBCOMMANDS = {"bench": run_bench, "export": run_export, "query": run_query}
 
 
 def run(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "bench":
-        return run_bench(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
     graph = load_graph(args)
     print(f"Loaded {graph}")

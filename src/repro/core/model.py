@@ -73,6 +73,8 @@ class CoANEModel(Module):
         self.num_attributes = num_attributes
         self.embedding_dim = embedding_dim
         self.context_size = context_size
+        self.decoder_hidden = decoder_hidden
+        self.extractor = extractor
         if extractor == "conv":
             self.encoder = ContextConv1d(context_size, num_attributes, embedding_dim, seed=seed)
         elif extractor == "fc":
@@ -84,6 +86,31 @@ class CoANEModel(Module):
             activation="relu",
             seed=seed,
         )
+
+    def spec(self) -> dict:
+        """The constructor arguments that determine every parameter shape.
+
+        Together with :meth:`state_dict` this fully describes a trained
+        network: ``CoANEModel.from_spec(spec).load_state_dict(state)``
+        rebuilds it without the training pipeline.
+        """
+        return {
+            "num_attributes": self.num_attributes,
+            "embedding_dim": self.embedding_dim,
+            "context_size": self.context_size,
+            "decoder_hidden": self.decoder_hidden,
+            "extractor": self.extractor,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict, seed=None) -> "CoANEModel":
+        """Instantiate an architecture from a :meth:`spec` snapshot."""
+        expected = {"num_attributes", "embedding_dim", "context_size",
+                    "decoder_hidden", "extractor"}
+        unknown = set(spec) - expected
+        if unknown:
+            raise ValueError(f"unknown model spec keys: {sorted(unknown)}")
+        return cls(seed=seed, **spec)
 
     def embed(self, contexts, segment_ids: np.ndarray, num_nodes: int) -> Tensor:
         """Encode flattened contexts and pool them into node embeddings.

@@ -8,7 +8,14 @@ metrics, and exact t-SNE for the embedding visualisations.
 
 from repro.eval.classification import LogisticRegression, OneVsRestClassifier
 from repro.eval.clustering import kmeans
-from repro.eval.link_prediction import LinkPredictionSplit, hadamard_features, link_prediction_auc, split_edges
+from repro.eval.link_prediction import (
+    LinkPredictionSplit,
+    fit_link_classifier,
+    hadamard_features,
+    link_prediction_auc,
+    sample_non_edges,
+    split_edges,
+)
 from repro.eval.metrics import accuracy, auc_score, f1_scores, normalized_mutual_information
 from repro.eval.pipeline import (
     evaluate_classification,
@@ -29,7 +36,9 @@ __all__ = [
     "stratified_node_split",
     "LinkPredictionSplit",
     "split_edges",
+    "sample_non_edges",
     "hadamard_features",
+    "fit_link_classifier",
     "link_prediction_auc",
     "evaluate_classification",
     "evaluate_clustering",

@@ -100,6 +100,18 @@ class OneVsRestClassifier:
             raise RuntimeError("call fit() first")
         return np.column_stack([m.decision_function(features) for m in self._models])
 
+    def predict_proba(self, features) -> np.ndarray:
+        """Per-class probabilities via a softmax over the one-vs-rest margins.
+
+        The heuristic normalisation standard for OvR reductions; columns
+        follow :attr:`classes_`.  Used by the online label scorer to report
+        calibrated-ish confidences alongside the argmax prediction.
+        """
+        scores = self.decision_function(features)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
     def predict(self, features) -> np.ndarray:
         scores = self.decision_function(features)
         return self.classes_[np.argmax(scores, axis=1)]

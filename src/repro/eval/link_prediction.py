@@ -41,8 +41,14 @@ class LinkPredictionSplit:
         return pairs, labels
 
 
-def _sample_non_edges(graph: AttributedGraph, count: int, rng, forbidden: set) -> np.ndarray:
-    """Sample ``count`` distinct non-adjacent pairs not already used."""
+def sample_non_edges(graph: AttributedGraph, count: int, rng,
+                     forbidden: set = ()) -> np.ndarray:
+    """Sample ``count`` distinct non-adjacent pairs not already used.
+
+    Shared by the split protocol below and the online edge scorer in
+    :mod:`repro.serve.scoring`, which needs matched negatives to calibrate
+    its classifier on the full graph.
+    """
     n = graph.num_nodes
     chosen = []
     seen = set(forbidden)
@@ -83,12 +89,12 @@ def split_edges(graph: AttributedGraph, train_ratio: float = 0.7, val_ratio: flo
     test_pos = edges[num_train + num_val:]
 
     used = set()
-    train_neg = _sample_non_edges(graph, len(train_pos), rng, used)
+    train_neg = sample_non_edges(graph, len(train_pos), rng, used)
     used.update(map(tuple, train_neg))
-    val_neg = (_sample_non_edges(graph, len(val_pos), rng, used)
+    val_neg = (sample_non_edges(graph, len(val_pos), rng, used)
                if len(val_pos) else np.empty((0, 2), dtype=np.int64))
     used.update(map(tuple, val_neg))
-    test_neg = _sample_non_edges(graph, len(test_pos), rng, used)
+    test_neg = sample_non_edges(graph, len(test_pos), rng, used)
 
     train_graph = graph.subgraph_with_edges(train_pos)
     return LinkPredictionSplit(
@@ -105,12 +111,21 @@ def hadamard_features(embeddings: np.ndarray, pairs: np.ndarray) -> np.ndarray:
     return embeddings[pairs[:, 0]] * embeddings[pairs[:, 1]]
 
 
+def fit_link_classifier(embeddings: np.ndarray, pairs: np.ndarray,
+                        labels: np.ndarray, l2: float = 1.0) -> LogisticRegression:
+    """Fit the paper's edge classifier — logistic regression over Hadamard
+    pair features — and return it for reuse (the AUC protocol below and the
+    online edge scorer both call this)."""
+    classifier = LogisticRegression(l2=l2)
+    classifier.fit(hadamard_features(embeddings, pairs), labels)
+    return classifier
+
+
 def link_prediction_auc(embeddings: np.ndarray, split: LinkPredictionSplit,
                         phases=("test",), l2: float = 1.0) -> dict:
     """Fit logistic regression on the training pairs, return AUC per phase."""
     train_pairs, train_labels = split.pairs("train")
-    classifier = LogisticRegression(l2=l2)
-    classifier.fit(hadamard_features(embeddings, train_pairs), train_labels)
+    classifier = fit_link_classifier(embeddings, train_pairs, train_labels, l2=l2)
     results = {}
     for phase in phases:
         pairs, labels = split.pairs(phase)

@@ -30,28 +30,67 @@ class Module:
     """Base class with recursive parameter discovery (like ``torch.nn.Module``)."""
 
     def parameters(self) -> list:
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> list:
+        """``(name, Parameter)`` pairs in deterministic attribute order.
+
+        Names mirror the attribute path (``decoder.layers.0.weight``), so a
+        state dict saved from one instance maps onto any other instance built
+        with the same hyperparameters.
+        """
         found = []
         seen = set()
-        for value in vars(self).values():
-            if isinstance(value, Parameter) and id(value) not in seen:
-                seen.add(id(value))
-                found.append(value)
+        self._collect_named(prefix, found, seen)
+        return found
+
+    def _collect_named(self, prefix: str, found: list, seen: set):
+        for name, value in vars(self).items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    found.append((key, value))
             elif isinstance(value, Module):
-                for p in value.parameters():
-                    if id(p) not in seen:
-                        seen.add(id(p))
-                        found.append(p)
+                value._collect_named(key + ".", found, seen)
             elif isinstance(value, (list, tuple)):
-                for item in value:
+                for position, item in enumerate(value):
                     if isinstance(item, Module):
-                        for p in item.parameters():
-                            if id(p) not in seen:
-                                seen.add(id(p))
-                                found.append(p)
+                        item._collect_named(f"{key}.{position}.", found, seen)
                     elif isinstance(item, Parameter) and id(item) not in seen:
                         seen.add(id(item))
-                        found.append(item)
-        return found
+                        found.append((f"{key}.{position}", item))
+
+    def state_dict(self) -> dict:
+        """Copy of every parameter keyed by its attribute path."""
+        return {name: parameter.data.copy()
+                for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict, strict: bool = True):
+        """Copy ``state`` values into this module's parameters in place.
+
+        With ``strict`` (the default) the key sets must match exactly; shapes
+        are always checked.
+        """
+        parameters = dict(self.named_parameters())
+        missing = sorted(parameters.keys() - state.keys())
+        unexpected = sorted(state.keys() - parameters.keys())
+        if strict and (missing or unexpected):
+            raise ValueError(
+                f"state dict mismatch: missing keys {missing}, "
+                f"unexpected keys {unexpected}"
+            )
+        for name, parameter in parameters.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: checkpoint has "
+                    f"{value.shape}, module has {parameter.data.shape}"
+                )
+            parameter.data[...] = value
+        return self
 
     def zero_grad(self):
         for p in self.parameters():

@@ -5,6 +5,9 @@
 times every pipeline stage (walks → contexts → co-occurrence → sampler build
 → epoch step) and the vectorised-vs-reference microbenchmarks, emitting
 ``BENCH_pipeline.json`` so the perf trajectory is tracked across PRs.
+``repro bench --stage serve`` drives :func:`run_serve_bench`, which measures
+the serving surface (checkpoint round-trip, index build, query latency and
+throughput) into ``BENCH_serve.json``.
 """
 
 from repro.perf.bench import (
@@ -12,5 +15,7 @@ from repro.perf.bench import (
     run_pipeline_bench,
     write_report,
 )
+from repro.perf.serve_bench import run_serve_bench
 
-__all__ = ["run_pipeline_bench", "run_microbenchmarks", "write_report"]
+__all__ = ["run_pipeline_bench", "run_microbenchmarks", "run_serve_bench",
+           "write_report"]

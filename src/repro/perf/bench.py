@@ -232,6 +232,22 @@ def run_microbenchmarks(graph, context_set=None, cooccurrence=None,
         repeats,
     )
 
+    # --- sampler: alias-table construction ---------------------------------
+    results["alias_build"] = _compare(
+        lambda: AliasTable(probabilities, method="loop"),
+        lambda: AliasTable(probabilities, method="rounds"),
+        repeats,
+    )
+
+    # --- contexts: windowed extraction -------------------------------------
+    walks_sample = RandomWalker(graph, seed=seed).walk(40, num_walks=1)
+    results["context_extraction"] = _compare(
+        lambda: reference.extract_contexts_blockloop(walks_sample, 5, n,
+                                                     subsample_t=1e-4, seed=seed),
+        lambda: extract_contexts(walks_sample, 5, n, subsample_t=1e-4, seed=seed),
+        repeats,
+    )
+
     # --- trainer: mini-batch grouping --------------------------------------
     segment_ids = context_set.midst
     groups = _SegmentGroups(segment_ids, n)

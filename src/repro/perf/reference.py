@@ -77,6 +77,90 @@ def choice_draw(rng, probabilities: np.ndarray, size) -> np.ndarray:
     return rng.choice(len(probabilities), size=size, p=probabilities)
 
 
+def alias_table_voseloop(probabilities: np.ndarray) -> tuple:
+    """Seed alias-table construction: Vose's one-pair-per-iteration Python
+    loop (stack discipline).  Returns ``(prob, alias)``.
+
+    The vectorised round-based construction in :class:`repro.utils.AliasTable`
+    pairs smalls and larges in a different order, so the *tables* differ; the
+    equivalence tests compare the encoded distributions, which both
+    constructions must reproduce exactly.
+    """
+    weights = np.asarray(probabilities, dtype=np.float64).ravel()
+    total = weights.sum()
+    n = len(weights)
+    weights = np.full(n, 1.0 / n) if total <= 0 else weights / total
+    scaled = weights * n
+    prob = np.ones(n)
+    alias = np.arange(n)
+    small = [i for i in range(n) if scaled[i] < 1.0]
+    large = [i for i in range(n) if scaled[i] >= 1.0]
+    while small and large:
+        s = small.pop()
+        l = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = l
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0
+        if scaled[l] < 1.0:
+            small.append(l)
+        else:
+            large.append(l)
+    for i in small + large:
+        prob[i] = 1.0
+    return prob, alias
+
+
+def alias_distribution(prob: np.ndarray, alias: np.ndarray) -> np.ndarray:
+    """Outcome distribution encoded by an alias table ``(prob, alias)``."""
+    n = len(prob)
+    out = np.zeros(n)
+    np.add.at(out, np.arange(n), prob)
+    np.add.at(out, alias, 1.0 - prob)
+    return out / n
+
+
+def extract_contexts_blockloop(walks: np.ndarray, context_size: int,
+                               num_nodes: int, subsample_t: float = 1e-5,
+                               seed=None):
+    """Seed context extraction: per-position window blocks accumulated in a
+    Python list and fused with one ``np.vstack`` at the end.  Consumes the
+    RNG stream exactly like the vectorised path (one ``random(num_walks)``
+    draw per non-initial position), so seeded outputs must match."""
+    from repro.utils.rng import ensure_rng
+    from repro.walks.contexts import PAD, ContextSet
+
+    walks = np.asarray(walks, dtype=np.int64)
+    rng = ensure_rng(seed)
+    num_walks, length = walks.shape
+    half = (context_size - 1) // 2
+    padded = np.full((num_walks, length + 2 * half), PAD, dtype=np.int64)
+    padded[:, half:half + length] = walks
+    frequency = np.bincount(walks.ravel(), minlength=num_nodes).astype(np.float64)
+    frequency /= max(frequency.sum(), 1.0)
+    keep_probability = np.ones(num_nodes)
+    positive = frequency > 0
+    keep_probability[positive] = np.minimum(1.0, np.sqrt(subsample_t / frequency[positive]))
+    windows = []
+    midsts = []
+    for position in range(length):
+        centres = walks[:, position]
+        if position == 0:
+            keep = np.ones(num_walks, dtype=bool)
+        else:
+            keep = rng.random(num_walks) < keep_probability[centres]
+        if not keep.any():
+            continue
+        windows.append(padded[keep, position:position + context_size])
+        midsts.append(centres[keep])
+    if windows:
+        all_windows = np.vstack(windows)
+        all_midsts = np.concatenate(midsts)
+    else:
+        all_windows = np.empty((0, context_size), dtype=np.int64)
+        all_midsts = np.empty(0, dtype=np.int64)
+    return ContextSet(all_windows, all_midsts, num_nodes)
+
+
 def segment_mean_addat(values: np.ndarray, segment_ids: np.ndarray,
                        num_segments: int) -> np.ndarray:
     """Seed pooling forward: ``np.add.at`` scatter instead of the cached

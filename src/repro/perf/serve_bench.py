@@ -1,0 +1,131 @@
+"""Serving-path benchmark: checkpoint, index build, query latency/throughput.
+
+``repro bench --stage serve`` trains one quick CoANE fit, exports it through
+the checkpoint round-trip, then measures the serving surface per metric:
+index build time, single-query latency (the interactive path), batched-query
+throughput (the micro-batched path), and the LRU cache hit path.  Results
+land in ``BENCH_serve.json`` next to the pipeline tier's
+``BENCH_pipeline.json`` so the serving perf trajectory is tracked across PRs
+the same way.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core import CoANE, CoANEConfig
+from repro.serve import Checkpoint, EmbeddingIndex, EmbeddingService
+from repro.utils.rng import ensure_rng
+
+
+def _percentile(seconds: list, q: float) -> float:
+    return float(np.percentile(np.asarray(seconds), q)) if seconds else None
+
+
+def run_serve_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
+                    epochs: int = 5, topk: int = 10, single_queries: int = 100,
+                    batch_size: int = 256, metrics=("dot", "cosine", "l2"),
+                    graph=None, **config_overrides) -> dict:
+    """Benchmark the serving path on a dataset analog; returns the report.
+
+    Parameters
+    ----------
+    dataset / scale / graph:
+        Input graph (named analog or a pre-built graph).
+    epochs:
+        Training epochs for the fit that produces the served embeddings —
+        serving cost does not depend on fit quality, so this stays small.
+    topk / single_queries / batch_size:
+        Query shape: neighbors per query, number of timed single queries,
+        and the batch size for the throughput measurement.
+    """
+    if graph is None:
+        if dataset is None:
+            raise ValueError("pass either dataset or graph")
+        from repro.graph import load_dataset
+
+        graph = load_dataset(dataset, seed=seed, scale=scale)
+    rng = ensure_rng(seed)
+    n = graph.num_nodes
+
+    config = CoANEConfig(num_walks=1, subsample_t=1e-5, epochs=epochs,
+                         seed=seed, **config_overrides)
+    start = time.perf_counter()
+    estimator = CoANE(config).fit(graph)
+    train_seconds = time.perf_counter() - start
+
+    checkpoint = Checkpoint.from_estimator(estimator, graph)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = os.path.join(tmpdir, "bench.ckpt.npz")
+        start = time.perf_counter()
+        checkpoint.save(path)
+        save_seconds = time.perf_counter() - start
+        size_bytes = os.path.getsize(path)
+        start = time.perf_counter()
+        checkpoint = Checkpoint.load(path)
+        load_seconds = time.perf_counter() - start
+
+    single_ids = rng.integers(0, n, size=min(single_queries, max(n, 1)))
+    batch_ids = rng.integers(0, n, size=batch_size)
+    per_metric = {}
+    for metric in metrics:
+        start = time.perf_counter()
+        index = EmbeddingIndex(checkpoint.embeddings, metric=metric)
+        build_seconds = time.perf_counter() - start
+
+        latencies = []
+        for node in single_ids:
+            start = time.perf_counter()
+            index.search_ids([int(node)], topk=topk)
+            latencies.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        index.search_ids(batch_ids, topk=topk)
+        batch_seconds = time.perf_counter() - start
+
+        per_metric[metric] = {
+            "build_seconds": build_seconds,
+            "single_query_mean_s": float(np.mean(latencies)),
+            "single_query_p50_s": _percentile(latencies, 50),
+            "single_query_p95_s": _percentile(latencies, 95),
+            "single_queries_timed": len(latencies),
+            "batch_size": int(batch_size),
+            "batch_seconds": batch_seconds,
+            "batched_queries_per_s": (batch_size / batch_seconds
+                                      if batch_seconds > 0 else None),
+        }
+
+    # Cache path: the same query answered twice through the service.
+    service = EmbeddingService(checkpoint, metric=metrics[0], cache_size=1024,
+                               verify=False)
+    probe = int(single_ids[0]) if len(single_ids) else 0
+    service.query(probe, topk=topk)
+    start = time.perf_counter()
+    repeat = service.query(probe, topk=topk)
+    cache_hit_seconds = time.perf_counter() - start
+
+    return {
+        "benchmark": "serve",
+        "dataset": graph.name,
+        "scale": scale,
+        "seed": seed,
+        "num_nodes": n,
+        "num_edges": graph.num_edges,
+        "embedding_dim": checkpoint.embedding_dim,
+        "topk": int(topk),
+        "train": {"seconds": train_seconds, "epochs": epochs},
+        "checkpoint": {
+            "save_seconds": save_seconds,
+            "load_seconds": load_seconds,
+            "size_bytes": int(size_bytes),
+        },
+        "index": per_metric,
+        "cache": {
+            "hit_seconds": cache_hit_seconds,
+            "hit_was_cached": bool(repeat.cached),
+        },
+    }

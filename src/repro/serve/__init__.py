@@ -1,0 +1,35 @@
+"""Serving layer: trained runs as a queryable product.
+
+``repro.serve`` turns one ``CoANE.fit`` into an online system:
+
+* :class:`Checkpoint` — weights + embeddings + config + dataset fingerprint
+  in one ``.npz`` archive (``repro export``),
+* :class:`EmbeddingIndex` — exact chunked-matmul top-k under dot / cosine /
+  L2 with deterministic tie-breaking (``repro query``),
+* :class:`EdgeScorer` / :class:`LabelScorer` — the paper's evaluation
+  operators refitted once and served online,
+* :class:`InductiveEncoder` — fresh-context embedding of unseen or updated
+  nodes through the frozen encoder,
+* :class:`EmbeddingService` — the front door with request micro-batching
+  and an LRU query cache (``repro bench --stage serve`` measures it).
+"""
+
+from repro.serve.checkpoint import Checkpoint, CheckpointMismatchError
+from repro.serve.index import METRICS, EmbeddingIndex
+from repro.serve.inductive import InductiveEncoder, augment_graph
+from repro.serve.scoring import EdgeScorer, LabelScorer
+from repro.serve.service import EmbeddingService, QueryResult, ServiceStats
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointMismatchError",
+    "EmbeddingIndex",
+    "METRICS",
+    "InductiveEncoder",
+    "augment_graph",
+    "EdgeScorer",
+    "LabelScorer",
+    "EmbeddingService",
+    "QueryResult",
+    "ServiceStats",
+]

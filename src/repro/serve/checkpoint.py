@@ -1,0 +1,140 @@
+"""Full training checkpoints: weights + embeddings + config + provenance.
+
+A :class:`Checkpoint` captures everything the serving layer needs from one
+``CoANE.fit`` run: the trained network's ``state_dict`` (so unseen nodes can
+be embedded inductively), the pooled embedding matrix (so seen nodes are
+answered without re-encoding), the normalised configuration (so the context
+pipeline can be replayed with identical hyperparameters), and a fingerprint
+of the training graph (so a checkpoint is never silently applied to
+different data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import CoANEConfig
+from repro.core.model import CoANEModel
+from repro.utils.persistence import (
+    graph_fingerprint,
+    load_checkpoint,
+    normalized_config,
+    save_checkpoint,
+)
+
+
+class CheckpointMismatchError(ValueError):
+    """Raised when a checkpoint is applied to a graph it was not trained on."""
+
+
+@dataclass
+class Checkpoint:
+    """One trained CoANE run, ready to persist or serve.
+
+    Attributes
+    ----------
+    state:
+        Model parameters keyed by attribute path (``encoder.weight`` ...).
+    embeddings:
+        Trained ``(n, d')`` node-embedding matrix.
+    config:
+        Normalised :class:`CoANEConfig` snapshot (plain JSON types).
+    model_spec:
+        :meth:`CoANEModel.spec` snapshot — the architecture shapes.
+    fingerprint:
+        :func:`graph_fingerprint` of the training graph.
+    info:
+        Free-form provenance (dataset name, node count, library version).
+    """
+
+    state: dict
+    embeddings: np.ndarray
+    config: dict
+    model_spec: dict
+    fingerprint: str
+    info: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_estimator(cls, estimator, graph, info: dict = None) -> "Checkpoint":
+        """Capture a fitted :class:`~repro.core.CoANE` estimator."""
+        if estimator.model_ is None or estimator.embeddings_ is None:
+            raise RuntimeError("estimator must be fitted before checkpointing")
+        from repro import __version__
+
+        merged = {
+            "dataset": graph.name,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "repro_version": __version__,
+        }
+        merged.update(info or {})
+        return cls(
+            state=estimator.model_.state_dict(),
+            embeddings=np.array(estimator.embeddings_, dtype=np.float64, copy=True),
+            config=normalized_config(estimator.config),
+            model_spec=estimator.model_.spec(),
+            fingerprint=graph_fingerprint(graph),
+            info=merged,
+        )
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str) -> str:
+        """Write the checkpoint as one ``.npz`` archive; returns the path."""
+        return save_checkpoint(
+            path, self.state, self.embeddings, self.config, self.fingerprint,
+            extra={"model_spec": self.model_spec, "info": self.info},
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        """Load an archive written by :meth:`save`."""
+        payload = load_checkpoint(path)
+        extra = payload["extra"]
+        if "model_spec" not in extra:
+            raise ValueError(f"{path} has no model spec; not a serve checkpoint")
+        return cls(
+            state=payload["state"],
+            embeddings=payload["embeddings"],
+            config=payload["config"],
+            model_spec=extra["model_spec"],
+            fingerprint=payload["fingerprint"],
+            info=extra.get("info", {}),
+        )
+
+    # ------------------------------------------------------------- rebuilding
+    @property
+    def num_nodes(self) -> int:
+        return self.embeddings.shape[0]
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.embeddings.shape[1]
+
+    def to_config(self) -> CoANEConfig:
+        """Rebuild the training configuration."""
+        return CoANEConfig(**self.config).validate()
+
+    def build_model(self) -> CoANEModel:
+        """Rebuild the trained network and load its weights."""
+        model = CoANEModel.from_spec(self.model_spec, seed=0)
+        model.load_state_dict(self.state)
+        return model
+
+    # ------------------------------------------------------------- provenance
+    def matches(self, graph) -> bool:
+        """Whether ``graph`` is byte-identical to the training graph."""
+        return graph_fingerprint(graph) == self.fingerprint
+
+    def verify(self, graph) -> "Checkpoint":
+        """Raise :class:`CheckpointMismatchError` unless ``graph`` matches."""
+        observed = graph_fingerprint(graph)
+        if observed != self.fingerprint:
+            raise CheckpointMismatchError(
+                f"graph fingerprint {observed} does not match the checkpoint's "
+                f"training graph ({self.fingerprint}); trained on "
+                f"{self.info.get('dataset', '?')} with "
+                f"{self.info.get('num_nodes', '?')} nodes"
+            )
+        return self

@@ -1,0 +1,266 @@
+"""Exact nearest-neighbor search over a trained embedding matrix.
+
+The index answers batched top-k queries under dot product, cosine, or
+(negative squared) Euclidean distance.  Scoring is exact — no quantisation or
+pruning — but memory-bounded: the index matrix is held once in ``float32``
+and every query batch is scored against it in row chunks, so the transient
+score block is ``queries x chunk`` instead of ``queries x n``.  Ties are
+broken deterministically (higher score first, then lower node id), so
+results are reproducible across chunk sizes and platforms.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: Supported similarity metrics.  Scores are "higher is better" for all
+#: three; ``l2`` reports the *negative squared* Euclidean distance.
+METRICS = ("dot", "cosine", "l2")
+
+#: Default bound on the transient per-chunk score block, in float32 elements
+#: per query row (2048 rows x 4 bytes = 8 KiB per query).
+DEFAULT_CHUNK_ROWS = 2048
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Unit-normalise rows; all-zero rows stay zero (cosine 0 to everything)."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, np.float32(1e-12))
+
+
+class EmbeddingIndex:
+    """Exact batched top-k search over ``(n, d)`` embeddings.
+
+    Parameters
+    ----------
+    embeddings:
+        The vector matrix; stored as a C-contiguous ``float32`` copy.
+    metric:
+        ``'dot'`` | ``'cosine'`` | ``'l2'``.
+    chunk_rows:
+        Index rows scored per matmul chunk (bounds transient memory).
+    """
+
+    def __init__(self, embeddings, metric: str = "cosine",
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        if metric not in METRICS:
+            raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        start = time.perf_counter()
+        vectors = np.ascontiguousarray(np.asarray(embeddings), dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError("embeddings must be a 2-D matrix")
+        self.metric = metric
+        self.chunk_rows = int(chunk_rows)
+        # Raw and derived rows live in over-allocated buffers so repeated
+        # single-vector add() calls (stacked online arrivals) stay amortised
+        # O(m*d) instead of recopying and re-deriving the whole matrix.
+        self._size = vectors.shape[0]
+        self._buffer = vectors
+        self._unit_buffer = (_normalize_rows(vectors)
+                             if metric == "cosine" else None)
+        self._sq_buffer = (np.einsum("ij,ij->i", vectors, vectors)
+                           if metric == "l2" else None)
+        self.build_seconds = time.perf_counter() - start
+
+    @property
+    def _vectors(self) -> np.ndarray:
+        return self._buffer[:self._size]
+
+    @property
+    def _scorable(self) -> np.ndarray:
+        if self.metric == "cosine":
+            return self._unit_buffer[:self._size]
+        return self._buffer[:self._size]
+
+    @property
+    def _sq_norms(self) -> np.ndarray:
+        return self._sq_buffer[:self._size]
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_vectors(self) -> int:
+        return self._size
+
+    @property
+    def dim(self) -> int:
+        return self._buffer.shape[1]
+
+    def __len__(self) -> int:
+        return self.num_vectors
+
+    def vector(self, node: int) -> np.ndarray:
+        """The stored (float32) vector of one node."""
+        if not 0 <= node < self._size:
+            raise IndexError(f"node {node} out of range [0, {self._size})")
+        return self._buffer[node]
+
+    # -------------------------------------------------------------- mutation
+    def _coerce_rows(self, vectors) -> np.ndarray:
+        vectors = np.ascontiguousarray(np.asarray(vectors), dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"vector dim {vectors.shape[-1]} != index dim {self.dim}"
+            )
+        return vectors
+
+    def _ensure_capacity(self, needed: int):
+        capacity = self._buffer.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, 2 * capacity)
+
+        def grow(buffer):
+            grown = np.empty((new_capacity,) + buffer.shape[1:], dtype=buffer.dtype)
+            grown[:self._size] = buffer[:self._size]
+            return grown
+
+        self._buffer = grow(self._buffer)
+        if self._unit_buffer is not None:
+            self._unit_buffer = grow(self._unit_buffer)
+        if self._sq_buffer is not None:
+            self._sq_buffer = grow(self._sq_buffer)
+
+    def _derive_rows(self, rows: slice, values: np.ndarray):
+        self._buffer[rows] = values
+        if self._unit_buffer is not None:
+            self._unit_buffer[rows] = _normalize_rows(values)
+        if self._sq_buffer is not None:
+            self._sq_buffer[rows] = np.einsum("ij,ij->i", values, values)
+
+    def add(self, vectors) -> np.ndarray:
+        """Append new vectors (e.g. inductively embedded nodes); returns
+        their assigned ids.  Amortised O(rows * dim) per call."""
+        vectors = self._coerce_rows(vectors)
+        first = self._size
+        self._ensure_capacity(first + vectors.shape[0])
+        self._derive_rows(slice(first, first + vectors.shape[0]), vectors)
+        self._size = first + vectors.shape[0]
+        return np.arange(first, self._size, dtype=np.int64)
+
+    def update(self, node: int, vector) -> None:
+        """Replace one stored vector in place (re-embedded / drifted node)."""
+        if not 0 <= node < self._size:
+            raise IndexError(f"node {node} out of range [0, {self._size})")
+        self._derive_rows(slice(node, node + 1), self._coerce_rows(vector))
+
+    # --------------------------------------------------------------- scoring
+    def _prepare_queries(self, queries) -> np.ndarray:
+        queries = np.ascontiguousarray(np.asarray(queries), dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries must have shape (q, {self.dim}), got {queries.shape}"
+            )
+        return queries
+
+    def _score_chunk(self, queries: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Scores of ``queries`` against index rows ``[start, stop)``.
+
+        Every metric reduces to one float32 GEMM against the pre-derived
+        matrix; the same routine backs both the chunked search and the
+        brute-force reference, so their per-pair arithmetic is identical.
+        """
+        block = queries @ self._scorable[start:stop].T
+        if self.metric == "l2":
+            q_sq = np.einsum("ij,ij->i", queries, queries)
+            block = 2.0 * block
+            block -= self._sq_norms[start:stop][None, :]
+            block -= q_sq[:, None]
+        return block
+
+    def scores(self, queries) -> np.ndarray:
+        """Full ``(q, n)`` score matrix (the brute-force reference; use
+        :meth:`search` for memory-bounded top-k)."""
+        queries = self._prepare_queries(queries)
+        if self.metric == "cosine":
+            queries = _normalize_rows(queries)
+        out = np.empty((queries.shape[0], self.num_vectors), dtype=np.float32)
+        for start in range(0, self.num_vectors, self.chunk_rows):
+            stop = min(start + self.chunk_rows, self.num_vectors)
+            out[:, start:stop] = self._score_chunk(queries, start, stop)
+        return out
+
+    # ---------------------------------------------------------------- search
+    @staticmethod
+    def _top_rows(scores: np.ndarray, ids: np.ndarray, k: int) -> tuple:
+        """Per-row top-``k`` of ``scores`` with the deterministic tie rule
+        (score descending, then id ascending)."""
+        order = np.lexsort((ids, -scores), axis=-1)[:, :k]
+        return np.take_along_axis(scores, order, axis=1), np.take_along_axis(ids, order, axis=1)
+
+    def search(self, queries, topk: int = 10, exclude=None) -> tuple:
+        """Top-``k`` ids and scores for a batch of query vectors.
+
+        Parameters
+        ----------
+        queries:
+            ``(q, d)`` vector batch (or one ``(d,)`` vector).
+        topk:
+            Neighbors per query (clipped to the index size).
+        exclude:
+            Optional ``(q,)`` node ids masked out of their own query's
+            results (self-exclusion for node-to-node queries).
+
+        Returns
+        -------
+        ``(ids, scores)`` with shapes ``(q, k)``; ids are ``int64`` and rows
+        are ordered best-first under the deterministic tie rule.
+        """
+        queries = self._prepare_queries(queries)
+        if topk < 1:
+            raise ValueError("topk must be >= 1")
+        if self.metric == "cosine":
+            queries = _normalize_rows(queries)
+        num_queries = queries.shape[0]
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.int64)
+            if exclude.shape != (num_queries,):
+                raise ValueError("exclude must hold one node id per query")
+        # Each excluded id removes one real candidate from its row; without
+        # the -1 a topk >= n query would pad results with the masked node
+        # itself at score -inf.
+        k = min(int(topk), self.num_vectors - (1 if exclude is not None else 0))
+        if k <= 0:
+            return (np.empty((num_queries, 0), dtype=np.int64),
+                    np.empty((num_queries, 0), dtype=np.float32))
+
+        best_scores = np.full((num_queries, 0), -np.inf, dtype=np.float32)
+        best_ids = np.empty((num_queries, 0), dtype=np.int64)
+        for start in range(0, self.num_vectors, self.chunk_rows):
+            stop = min(start + self.chunk_rows, self.num_vectors)
+            chunk_scores = self._score_chunk(queries, start, stop)
+            chunk_ids = np.broadcast_to(
+                np.arange(start, stop, dtype=np.int64), chunk_scores.shape)
+            if exclude is not None:
+                hit = (exclude >= start) & (exclude < stop)
+                if hit.any():
+                    rows = np.flatnonzero(hit)
+                    chunk_scores = np.array(chunk_scores)
+                    chunk_scores[rows, exclude[rows] - start] = -np.inf
+            merged_scores = np.concatenate([best_scores, chunk_scores], axis=1)
+            merged_ids = np.concatenate(
+                [best_ids, np.ascontiguousarray(chunk_ids)], axis=1)
+            best_scores, best_ids = self._top_rows(merged_scores, merged_ids, k)
+        return best_ids, best_scores
+
+    def search_ids(self, node_ids, topk: int = 10, exclude_self: bool = True) -> tuple:
+        """Top-``k`` neighbors of nodes already in the index."""
+        node_ids = np.asarray(node_ids, dtype=np.int64).ravel()
+        if node_ids.size and (node_ids.min() < 0 or node_ids.max() >= self.num_vectors):
+            raise IndexError("node id out of range")
+        return self.search(
+            self._vectors[node_ids], topk=topk,
+            exclude=node_ids if exclude_self else None,
+        )
+
+    def __repr__(self) -> str:
+        return (f"EmbeddingIndex(metric={self.metric!r}, "
+                f"vectors={self.num_vectors}, dim={self.dim}, "
+                f"chunk_rows={self.chunk_rows})")

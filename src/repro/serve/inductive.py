@@ -1,0 +1,163 @@
+"""Inductive inference: embed nodes the training corpus never saw.
+
+CoANE's embedding of a node is the average of the per-context features its
+contexts receive from the trained convolution — nothing in that computation
+is tied to the training walk corpus.  So a node that arrives (or changes)
+after training can be embedded by replaying the context pipeline for it
+alone: sample fresh walks *starting at the node* over the frozen graph,
+extract subsampled windows, build the attribute-context rows from the
+current attribute matrix, and push them through the frozen encoder.  The
+same path re-embeds existing nodes after an attribute update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import CoANEConfig
+from repro.core.model import CoANEModel
+from repro.graph.attributed_graph import AttributedGraph
+from repro.nn import no_grad
+from repro.utils.rng import ensure_rng
+from repro.walks.contexts import ContextSet, attribute_context_matrices, extract_contexts
+from repro.walks.random_walk import RandomWalker
+
+
+def augment_graph(graph: AttributedGraph, new_attributes,
+                  new_edges) -> tuple:
+    """Extend ``graph`` with new nodes; returns ``(augmented, new_ids)``.
+
+    Parameters
+    ----------
+    new_attributes:
+        ``(m, d)`` attribute rows of the arriving nodes.
+    new_edges:
+        ``(e, 2)`` pairs; endpoints may reference existing ids or the new
+        ids ``n .. n+m-1``.  Every new node needs at least one edge to be
+        reachable by walks.
+
+    Labels are dropped (the arrivals have none); the serving layer predicts
+    them with the label scorer instead.
+    """
+    new_attributes = np.atleast_2d(np.asarray(new_attributes, dtype=np.float64))
+    if new_attributes.shape[1] != graph.num_attributes:
+        raise ValueError(
+            f"new attribute dim {new_attributes.shape[1]} != graph attribute "
+            f"dim {graph.num_attributes}"
+        )
+    n = graph.num_nodes
+    total = n + new_attributes.shape[0]
+    new_edges = np.asarray(new_edges, dtype=np.int64)
+    if new_edges.ndim != 2 or new_edges.shape[1] != 2:
+        raise ValueError("new_edges must have shape (e, 2)")
+    if new_edges.size and (new_edges.min() < 0 or new_edges.max() >= total):
+        raise ValueError("new_edges reference nodes outside the augmented graph")
+    base = graph.adjacency.tocoo()
+    padded = sp.csr_matrix((base.data, (base.row, base.col)), shape=(total, total))
+    arrivals = sp.csr_matrix(
+        (np.ones(len(new_edges)), (new_edges[:, 0], new_edges[:, 1])),
+        shape=(total, total))
+    arrivals.data[:] = 1.0  # collapse duplicate pairs to unit weight
+    # Drop arrival pairs that already exist so re-listing a known edge can
+    # never double its weight; genuinely new edges come in at weight 1.
+    arrivals = arrivals - arrivals.multiply(padded != 0)
+    adjacency = padded + arrivals
+    attributes = np.vstack([graph.attributes, new_attributes])
+    augmented = AttributedGraph(adjacency, attributes, labels=None,
+                                name=f"{graph.name}+{new_attributes.shape[0]}")
+    return augmented, np.arange(n, total, dtype=np.int64)
+
+
+class InductiveEncoder:
+    """Embeds node batches through a frozen trained encoder.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`CoANEModel` (e.g. ``Checkpoint.build_model()``).
+    graph:
+        The graph to sample contexts from — the training graph, or an
+        :func:`augment_graph` extension of it holding arrived nodes.
+    config:
+        The training configuration (``CoANEConfig`` or its normalised dict);
+        supplies walk length, context size, and subsampling threshold so
+        inference contexts follow the training distribution.
+    """
+
+    def __init__(self, model: CoANEModel, graph: AttributedGraph, config,
+                 seed=None):
+        if isinstance(config, dict):
+            config = CoANEConfig(**config)
+        self.model = model
+        self.graph = graph
+        self.config = config.validate()
+        self._rng = ensure_rng(seed)
+        if not config.use_attribute_input and graph.num_nodes != model.num_attributes:
+            raise ValueError(
+                "identity-attribute (WF ablation) models cannot embed graphs "
+                "of a different size inductively"
+            )
+
+    def _attributes(self) -> np.ndarray:
+        if self.config.use_attribute_input:
+            return self.graph.attributes
+        return np.eye(self.graph.num_nodes, dtype=np.float64)
+
+    def embed_nodes(self, nodes, num_walks: int = None, seed=None) -> np.ndarray:
+        """Embed ``nodes`` from freshly sampled contexts; ``(len(nodes), d')``.
+
+        ``num_walks`` walks (default: the training ``num_walks``) are started
+        at every requested node; windows centred on other nodes encountered
+        along the way are discarded.  More walks average more contexts and
+        tighten the agreement with the transductive embedding.
+        """
+        cfg = self.config
+        requested = np.asarray(nodes, dtype=np.int64).ravel()
+        if requested.size == 0:
+            return np.zeros((0, self.model.embedding_dim))
+        if requested.min() < 0 or requested.max() >= self.graph.num_nodes:
+            raise IndexError("node id outside the frozen graph")
+        # Duplicate requests share one set of walks and contexts.
+        nodes, inverse = np.unique(requested, return_inverse=True)
+        rng = self._rng if seed is None else ensure_rng(seed)
+        if cfg.context_source == "onehop":
+            # The Fig. 6a ablation variant trains on first-hop windows; its
+            # inference contexts must come from the same generator.
+            from repro.core.trainer import _onehop_contexts
+
+            corpus = _onehop_contexts(self.graph, cfg.context_size, rng)
+        else:
+            walker = RandomWalker(self.graph, seed=rng)
+            walks = walker.walk(cfg.walk_length,
+                                num_walks=num_walks or cfg.num_walks,
+                                start_nodes=nodes)
+            corpus = extract_contexts(walks, cfg.context_size,
+                                      self.graph.num_nodes,
+                                      subsample_t=cfg.subsample_t, seed=rng)
+        # Keep only windows centred on the requested nodes and relabel their
+        # midsts to batch-local positions.
+        local = np.full(self.graph.num_nodes, -1, dtype=np.int64)
+        local[nodes] = np.arange(len(nodes))
+        mask = local[corpus.midst] >= 0
+        batch_set = ContextSet(corpus.windows[mask], local[corpus.midst[mask]],
+                               num_nodes=len(nodes))
+        contexts_flat = attribute_context_matrices(batch_set, self._attributes())
+        with no_grad():
+            embedded = self.model.embed(contexts_flat, batch_set.midst,
+                                        len(nodes))
+        return embedded.data[inverse]
+
+    def embed_new(self, new_attributes, new_edges, num_walks: int = None,
+                  seed=None) -> np.ndarray:
+        """One-shot helper: augment the frozen graph with arriving nodes and
+        embed just them; ``(m, d')``.  The encoder keeps serving the
+        augmented graph afterwards, so follow-up arrivals stack."""
+        if not self.config.use_attribute_input:
+            # The WF ablation feeds identity rows: the input dimension is the
+            # training node count, so an arriving node has no valid input row.
+            raise ValueError(
+                "identity-attribute (WF ablation) models cannot embed new nodes"
+            )
+        self.graph, new_ids = augment_graph(self.graph, new_attributes, new_edges)
+        return self.embed_nodes(new_ids, num_walks=num_walks, seed=seed)

@@ -1,0 +1,141 @@
+"""Online scorers over frozen embeddings.
+
+Both scorers reuse the paper's evaluation operators — Hadamard pair features
+with L2 logistic regression for edges (:mod:`repro.eval.link_prediction`),
+one-vs-rest logistic regression for labels (:mod:`repro.eval.classification`)
+— but fit them once at service start and then answer arbitrary node batches,
+including vectors of nodes that were embedded inductively after training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.classification import OneVsRestClassifier
+from repro.eval.link_prediction import (
+    fit_link_classifier,
+    hadamard_features,
+    sample_non_edges,
+)
+from repro.utils.rng import ensure_rng
+
+
+def _check_trained_ids(embeddings: np.ndarray, nodes: np.ndarray):
+    """Reject ids outside the trained matrix with an actionable message —
+    nodes embedded inductively after training are queryable in the index but
+    have no row here until the scorers are refit (ROADMAP item)."""
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= embeddings.shape[0]):
+        raise IndexError(
+            f"node id outside the trained embedding matrix "
+            f"(0..{embeddings.shape[0] - 1}); nodes embedded after training "
+            f"are not scorable — pass their vectors explicitly"
+        )
+
+
+def _as_vectors(embeddings: np.ndarray, nodes=None, vectors=None) -> np.ndarray:
+    """Resolve a node-id batch or a raw vector batch to ``(q, d')`` rows."""
+    if (nodes is None) == (vectors is None):
+        raise ValueError("pass exactly one of nodes= or vectors=")
+    if nodes is not None:
+        nodes = np.asarray(nodes, dtype=np.int64).ravel()
+        _check_trained_ids(embeddings, nodes)
+        return embeddings[nodes]
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim == 1:
+        vectors = vectors[None, :]
+    if vectors.shape[1] != embeddings.shape[1]:
+        raise ValueError(
+            f"vector dim {vectors.shape[1]} != embedding dim {embeddings.shape[1]}"
+        )
+    return vectors
+
+
+class EdgeScorer:
+    """Scores candidate edges with the link-prediction operator.
+
+    Trained once on every observed edge of ``graph`` against an equal number
+    of sampled non-edges — the serving analog of the paper's protocol, which
+    fits the same classifier on the 70% training split.
+
+    Parameters
+    ----------
+    embeddings:
+        Trained ``(n, d')`` matrix.
+    graph:
+        The graph the embeddings were trained on (supplies positives and
+        the non-edge sampler).
+    l2, seed:
+        Classifier regularisation and negative-sampling seed.
+    """
+
+    def __init__(self, embeddings, graph, l2: float = 1.0, seed=None):
+        self._embeddings = np.asarray(embeddings, dtype=np.float64)
+        positives = graph.edge_list()
+        if len(positives) == 0:
+            raise ValueError("graph has no edges to calibrate the scorer on")
+        rng = ensure_rng(seed)
+        negatives = sample_non_edges(graph, len(positives), rng)
+        pairs = np.vstack([positives, negatives])
+        labels = np.concatenate([np.ones(len(positives)), np.zeros(len(negatives))])
+        self.classifier = fit_link_classifier(self._embeddings, pairs, labels, l2=l2)
+
+    def score(self, pairs) -> np.ndarray:
+        """Probability that each ``(u, v)`` pair is an edge."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim == 1:
+            pairs = pairs[None, :]
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must have shape (m, 2)")
+        _check_trained_ids(self._embeddings, pairs.ravel())
+        return self.classifier.predict_proba(
+            hadamard_features(self._embeddings, pairs))
+
+    def score_vectors(self, left, right) -> np.ndarray:
+        """Edge probability for explicit endpoint vectors (inductive nodes
+        that have no id in the trained matrix yet)."""
+        left = np.atleast_2d(np.asarray(left, dtype=np.float64))
+        right = np.atleast_2d(np.asarray(right, dtype=np.float64))
+        if left.shape != right.shape:
+            raise ValueError("left/right vector batches must have equal shapes")
+        return self.classifier.predict_proba(left * right)
+
+    def score_candidates(self, node: int, candidates) -> np.ndarray:
+        """Edge probability of ``node`` against each candidate id."""
+        candidates = np.asarray(candidates, dtype=np.int64).ravel()
+        pairs = np.column_stack([np.full(len(candidates), node), candidates])
+        return self.score(pairs)
+
+
+class LabelScorer:
+    """Predicts node labels from frozen embeddings.
+
+    One-vs-rest logistic regression fit on every labelled node (labels < 0
+    are treated as unlabelled and skipped), then applied to arbitrary node or
+    vector batches.
+    """
+
+    def __init__(self, embeddings, labels, l2: float = 1.0):
+        self._embeddings = np.asarray(embeddings, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (self._embeddings.shape[0],):
+            raise ValueError("labels must hold one entry per embedded node")
+        labelled = np.flatnonzero(labels >= 0)
+        if len(labelled) == 0:
+            raise ValueError("no labelled nodes to fit the scorer on")
+        self.classifier = OneVsRestClassifier(l2=l2)
+        self.classifier.fit(self._embeddings[labelled], labels[labelled])
+
+    @property
+    def classes_(self) -> np.ndarray:
+        return self.classifier.classes_
+
+    def predict(self, nodes=None, vectors=None) -> np.ndarray:
+        """Most likely class per node (ids or raw vectors)."""
+        return self.classifier.predict(
+            _as_vectors(self._embeddings, nodes, vectors))
+
+    def predict_proba(self, nodes=None, vectors=None) -> np.ndarray:
+        """``(q, num_classes)`` class probabilities, columns in
+        :attr:`classes_` order."""
+        return self.classifier.predict_proba(
+            _as_vectors(self._embeddings, nodes, vectors))

@@ -1,0 +1,320 @@
+"""The serving front door: one object that answers queries.
+
+:class:`EmbeddingService` wires the pieces of the serve layer together —
+checkpoint, exact index, online scorers, inductive encoder — behind a small
+request API with two throughput features a hot endpoint needs:
+
+* **request micro-batching** — ``submit()`` parks single-neighbor requests
+  in a pending queue; once ``max_batch`` accumulate (or ``flush()`` is
+  called) one batched matmul answers all of them.  Batched scoring is where
+  the index's chunked GEMMs earn their keep, so collapsing N single queries
+  into one search multiplies throughput.
+* **an LRU query cache** — repeated queries (the head of any real traffic
+  distribution) are answered without touching the index.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.checkpoint import Checkpoint
+from repro.serve.index import EmbeddingIndex
+from repro.serve.inductive import InductiveEncoder
+from repro.serve.scoring import EdgeScorer, LabelScorer
+
+
+@dataclass
+class QueryResult:
+    """One answered neighbor query."""
+
+    query: int                      # node id (or -1 for raw-vector queries)
+    neighbor_ids: np.ndarray        # (k,) best-first
+    scores: np.ndarray              # (k,) matching scores
+    cached: bool = False
+
+
+@dataclass
+class _PendingQuery:
+    """A parked request; resolved when its batch flushes."""
+
+    node: int
+    topk: int
+    result: QueryResult = None
+
+    def get(self) -> QueryResult:
+        if self.result is None:
+            raise RuntimeError("query not flushed yet; call service.flush()")
+        return self.result
+
+
+class _LRUCache:
+    """Bounded mapping with least-recently-used eviction and hit counters."""
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._entries = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value):
+        if self.capacity <= 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self):
+        self._entries.clear()
+
+
+@dataclass
+class ServiceStats:
+    """Search counters the service accumulates while answering (cache hit
+    and miss counts live on the LRU itself; :meth:`EmbeddingService.stats`
+    merges both views)."""
+
+    queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    search_seconds: float = 0.0
+
+
+class EmbeddingService:
+    """Query front door over one trained checkpoint.
+
+    Parameters
+    ----------
+    checkpoint:
+        A :class:`Checkpoint` (or path to one) — the source of embeddings,
+        weights, and config.
+    graph:
+        Optional training graph.  Required for edge scoring and inductive
+        embedding; when given, its fingerprint is verified against the
+        checkpoint unless ``verify=False``.
+    metric:
+        Index metric (``'dot'`` | ``'cosine'`` | ``'l2'``).
+    default_topk, cache_size, max_batch:
+        Serving knobs: neighbors per query, LRU capacity (0 disables), and
+        the micro-batch flush threshold.
+    """
+
+    def __init__(self, checkpoint, graph=None, metric: str = "cosine",
+                 default_topk: int = 10, cache_size: int = 1024,
+                 max_batch: int = 64, verify: bool = True, seed: int = 0):
+        if isinstance(checkpoint, str):
+            checkpoint = Checkpoint.load(checkpoint)
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.checkpoint = checkpoint
+        self.graph = graph
+        if graph is not None and verify:
+            checkpoint.verify(graph)
+        self.metric = metric
+        self.default_topk = int(default_topk)
+        self.max_batch = int(max_batch)
+        self.index = EmbeddingIndex(checkpoint.embeddings, metric=metric)
+        self._cache = _LRUCache(cache_size)
+        self._pending = []
+        self._seed = seed
+        self._stats = ServiceStats()
+        self._edge_scorer = None
+        self._label_scorer = None
+        self._inductive = None
+
+    # ------------------------------------------------------------- neighbors
+    def query(self, node: int, topk: int = None) -> QueryResult:
+        """Answer one neighbor query now (cache, then a size-1 batch)."""
+        self.flush()
+        pending = self.submit(node, topk=topk)
+        self.flush()
+        return pending.get()
+
+    def query_many(self, nodes, topk: int = None) -> list:
+        """Answer a batch of neighbor queries with one index search.
+
+        Cached entries are served from the LRU; the remainder share one
+        batched matmul.  Results come back in request order.
+        """
+        topk = self.default_topk if topk is None else int(topk)
+        nodes = [int(node) for node in np.asarray(nodes, dtype=np.int64).ravel()]
+        results = [None] * len(nodes)
+        missing = []
+        for position, node in enumerate(nodes):
+            hit = self._cache.get((node, topk))
+            if hit is not None:
+                # Hand out copies: callers may post-process their result in
+                # place, which must never corrupt the cached canonical arrays.
+                results[position] = QueryResult(node, hit[0].copy(),
+                                                hit[1].copy(), cached=True)
+            else:
+                missing.append(position)
+        if missing:
+            batch = np.array([nodes[position] for position in missing])
+            start = time.perf_counter()
+            ids, scores = self.index.search_ids(batch, topk=topk)
+            self._stats.search_seconds += time.perf_counter() - start
+            self._stats.batches += 1
+            self._stats.batched_queries += len(missing)
+            for row, position in enumerate(missing):
+                answer = (ids[row].copy(), scores[row].copy())
+                self._cache.put((nodes[position], topk), answer)
+                results[position] = QueryResult(nodes[position],
+                                                answer[0].copy(),
+                                                answer[1].copy())
+        self._stats.queries += len(nodes)
+        return results
+
+    def query_vector(self, vector, topk: int = None) -> QueryResult:
+        """Neighbor query for a raw embedding vector (uncached)."""
+        topk = self.default_topk if topk is None else int(topk)
+        start = time.perf_counter()
+        ids, scores = self.index.search(vector, topk=topk)
+        self._stats.search_seconds += time.perf_counter() - start
+        self._stats.queries += 1
+        self._stats.batches += 1
+        self._stats.batched_queries += 1
+        return QueryResult(-1, ids[0], scores[0])
+
+    # --------------------------------------------------------- micro-batching
+    def submit(self, node: int, topk: int = None) -> _PendingQuery:
+        """Park a neighbor request; auto-flushes at ``max_batch`` pending.
+
+        Ids are validated here so one bad request cannot poison the batch it
+        would later flush with.
+        """
+        node = int(node)
+        if not 0 <= node < self.index.num_vectors:
+            raise IndexError(
+                f"node {node} out of range [0, {self.index.num_vectors})")
+        pending = _PendingQuery(node,
+                                self.default_topk if topk is None else int(topk))
+        self._pending.append(pending)
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return pending
+
+    def flush(self) -> int:
+        """Resolve every parked request; returns how many were answered.
+
+        Requests are grouped by ``topk`` so each group is one
+        :meth:`query_many` call (mixed-k batches are rare; uniform-k is the
+        hot path and stays a single search).
+        """
+        pending, self._pending = self._pending, []
+        by_topk = {}
+        for request in pending:
+            by_topk.setdefault(request.topk, []).append(request)
+        try:
+            for topk, group in by_topk.items():
+                answers = self.query_many([request.node for request in group],
+                                          topk=topk)
+                for request, answer in zip(group, answers):
+                    request.result = answer
+        except Exception:
+            # Re-queue whatever was not answered so a failing group cannot
+            # strand its co-batched requests.
+            self._pending = ([request for request in pending
+                              if request.result is None] + self._pending)
+            raise
+        return len(pending)
+
+    # ----------------------------------------------------------------- scoring
+    def _require_graph(self, feature: str):
+        if self.graph is None:
+            raise RuntimeError(f"{feature} needs the service constructed with graph=")
+
+    @property
+    def edge_scorer(self) -> EdgeScorer:
+        self._require_graph("edge scoring")
+        if self._edge_scorer is None:
+            self._edge_scorer = EdgeScorer(self.checkpoint.embeddings,
+                                           self.graph, seed=self._seed)
+        return self._edge_scorer
+
+    @property
+    def label_scorer(self) -> LabelScorer:
+        self._require_graph("label scoring")
+        if self.graph.labels is None:
+            raise RuntimeError("label scoring needs a labelled graph")
+        if self._label_scorer is None:
+            self._label_scorer = LabelScorer(self.checkpoint.embeddings,
+                                             self.graph.labels)
+        return self._label_scorer
+
+    def score_edges(self, pairs) -> np.ndarray:
+        """Edge probability for candidate ``(u, v)`` pairs."""
+        return self.edge_scorer.score(pairs)
+
+    def classify(self, nodes=None, vectors=None) -> np.ndarray:
+        """Predicted label per node id or raw vector."""
+        return self.label_scorer.predict(nodes=nodes, vectors=vectors)
+
+    def classify_proba(self, nodes=None, vectors=None) -> np.ndarray:
+        return self.label_scorer.predict_proba(nodes=nodes, vectors=vectors)
+
+    # ---------------------------------------------------------------- inductive
+    @property
+    def inductive(self) -> InductiveEncoder:
+        self._require_graph("inductive embedding")
+        if self._inductive is None:
+            self._inductive = InductiveEncoder(
+                self.checkpoint.build_model(), self.graph,
+                self.checkpoint.to_config(), seed=self._seed,
+            )
+        return self._inductive
+
+    def embed_new(self, new_attributes, new_edges, num_walks: int = None,
+                  add_to_index: bool = True) -> np.ndarray:
+        """Embed arriving nodes inductively; optionally make them queryable.
+
+        Returns the new ``(m, d')`` vectors; with ``add_to_index`` they are
+        appended to the index (ids continue from the current size) and the
+        stale-neighbor cache entries are dropped.
+        """
+        vectors = self.inductive.embed_new(new_attributes, new_edges,
+                                           num_walks=num_walks)
+        if add_to_index:
+            self.index.add(vectors)
+            self._cache.clear()
+        return vectors
+
+    def refresh_node(self, node: int, num_walks: int = None) -> np.ndarray:
+        """Re-embed one existing node from fresh contexts (attribute drift)
+        and update the serving state: the index row is replaced and the
+        neighbor cache is dropped, so subsequent queries see the new vector."""
+        vector = self.inductive.embed_nodes([node], num_walks=num_walks)[0]
+        self.index.update(int(node), vector)
+        self._cache.clear()
+        return vector
+
+    # -------------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Serving counters (queries, batches, cache hits, search seconds)."""
+        return {
+            "queries": self._stats.queries,
+            "batches": self._stats.batches,
+            "batched_queries": self._stats.batched_queries,
+            "search_seconds": self._stats.search_seconds,
+            "cache_hits": self._cache.hits,
+            "cache_misses": self._cache.misses,
+            "cache_entries": len(self._cache),
+            "index_vectors": self.index.num_vectors,
+            "metric": self.metric,
+        }

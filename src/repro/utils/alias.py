@@ -5,6 +5,26 @@ a binary search per draw; on the training hot path (the contextual noise
 distribution ``P_V`` is sampled tens of thousands of times per fit) the alias
 table is the standard fix: O(n) setup, then every sample costs one uniform
 integer plus one uniform float [Walker 1977, Vose 1991].
+
+Two constructions build the same distribution:
+
+* ``'loop'`` — Vose's classic one-pair-per-iteration stack pairing, kept
+  bit-identical to the seed implementation.  Any valid table encodes the
+  same distribution, but different *layouts* map the same RNG draws to
+  different outcomes, so the layout is part of the library's seeded
+  behaviour: every benchmark artifact and pinned figure depends on it.
+* ``'rounds'`` — a vectorised variant that finalises every under-full
+  column at once per round by matching the running sum of deficits against
+  the running sum of donor excesses (one ``searchsorted``), then
+  re-partitions the surviving donors.  Rounds are tiny in practice (1-3 for
+  real degree / co-occurrence distributions); a pathological donor chain
+  falls back to the sequential pairing for the (by then small) remainder.
+
+``'auto'`` (the default) uses the loop below
+:data:`VECTORIZED_MIN_OUTCOMES` — where construction is sub-millisecond and
+stream stability with the seeded benchmark suite matters more — and the
+rounds construction above it, the serving-scale case where samplers get
+rebuilt whenever a refreshed graph is swapped in.
 """
 
 from __future__ import annotations
@@ -12,6 +32,70 @@ from __future__ import annotations
 import numpy as np
 
 from repro.utils.rng import ensure_rng
+
+#: ``'auto'`` switches from the seed-identical loop to the vectorised
+#: construction at this table size.
+VECTORIZED_MIN_OUTCOMES = 4096
+
+#: Rounds of vectorised pairing before falling back to the sequential loop.
+_MAX_ROUNDS = 64
+
+
+def _vose_pair_sequential(resid: np.ndarray, active, prob: np.ndarray,
+                          alias: np.ndarray):
+    """Classic one-pair-at-a-time Vose pairing over the ``active`` columns.
+
+    This is the seed construction (stack discipline, highest index popped
+    first); it doubles as the fallback for adversarial donor chains that
+    keep the round-based construction from converging.  Mutates
+    ``prob``/``alias``.
+    """
+    small = [int(i) for i in active if resid[i] < 1.0]
+    large = [int(i) for i in active if resid[i] >= 1.0]
+    while small and large:
+        s = small.pop()
+        l = large.pop()
+        prob[s] = resid[s]
+        alias[s] = l
+        resid[l] = (resid[l] + resid[s]) - 1.0
+        if resid[l] < 1.0:
+            small.append(l)
+        else:
+            large.append(l)
+    for i in small + large:
+        prob[i] = 1.0
+
+
+def _vose_pair_rounds(resid: np.ndarray, prob: np.ndarray, alias: np.ndarray):
+    """Vectorised pairing: each round retires every current small at once.
+
+    Smalls and larges are matched by aligning the cumulative deficit of the
+    smalls with the cumulative excess of the larges, so one searchsorted
+    replaces the per-pair stack discipline.  A donor drained below 1 by its
+    last small becomes a small of the next round.  Mutates ``prob``/``alias``.
+    """
+    active = np.arange(len(resid))
+    for _ in range(_MAX_ROUNDS):
+        small_mask = resid[active] < 1.0
+        if not small_mask.any() or small_mask.all():
+            return
+        smalls = active[small_mask]
+        larges = active[~small_mask]
+        deficits = 1.0 - resid[smalls]
+        cum_excess = np.cumsum(resid[larges] - 1.0)
+        # Donor of small j: the first large whose cumulative excess exceeds
+        # the deficit mass of all smalls before j.  The small that crosses a
+        # donor's capacity overdraws it (its residual drops below 1), which
+        # is what re-queues the donor.
+        before = np.cumsum(deficits) - deficits
+        donor = np.searchsorted(cum_excess, before, side="right")
+        donor = np.minimum(donor, len(larges) - 1)
+        prob[smalls] = resid[smalls]
+        alias[smalls] = larges[donor]
+        resid[larges] -= np.bincount(donor, weights=deficits,
+                                     minlength=len(larges))
+        active = larges
+    _vose_pair_sequential(resid, active, prob, alias)
 
 
 class AliasTable:
@@ -22,14 +106,20 @@ class AliasTable:
     probabilities:
         Non-negative weights; normalised internally.  An all-zero vector
         degrades to the uniform distribution.
+    method:
+        ``'auto'`` (default), ``'loop'``, or ``'rounds'`` — see the module
+        docstring.  All methods encode exactly the same distribution; they
+        differ in construction speed and table layout.
     """
 
-    def __init__(self, probabilities):
+    def __init__(self, probabilities, method: str = "auto"):
         weights = np.asarray(probabilities, dtype=np.float64).ravel()
         if weights.size == 0:
             raise ValueError("probabilities must be non-empty")
         if (weights < 0).any():
             raise ValueError("probabilities must be non-negative")
+        if method not in ("auto", "loop", "rounds"):
+            raise ValueError("method must be 'auto', 'loop', or 'rounds'")
         total = weights.sum()
         n = len(weights)
         if total <= 0:
@@ -38,28 +128,17 @@ class AliasTable:
             weights = weights / total
         self.num_outcomes = n
 
-        # Vose's stable construction: scale to mean 1, split into the columns
-        # whose own probability under-fills the slot ("small") and the donors
-        # ("large"), then pair them off.
-        scaled = weights * n
+        if method == "auto":
+            method = "rounds" if n >= VECTORIZED_MIN_OUTCOMES else "loop"
+        resid = weights * n
         prob = np.ones(n)
         alias = np.arange(n)
-        small = [i for i in range(n) if scaled[i] < 1.0]
-        large = [i for i in range(n) if scaled[i] >= 1.0]
-        while small and large:
-            s = small.pop()
-            l = large.pop()
-            prob[s] = scaled[s]
-            alias[s] = l
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0
-            if scaled[l] < 1.0:
-                small.append(l)
-            else:
-                large.append(l)
+        if method == "loop":
+            _vose_pair_sequential(resid, range(n), prob, alias)
+        else:
+            _vose_pair_rounds(resid, prob, alias)
         # Leftovers are 1.0 up to float error.
-        for i in small + large:
-            prob[i] = 1.0
-        self._prob = prob
+        self._prob = np.clip(prob, 0.0, 1.0)
         self._alias = alias
 
     def sample(self, rng, size) -> np.ndarray:

@@ -1,16 +1,26 @@
-"""Saving and loading trained embeddings with their provenance.
+"""Saving and loading trained artifacts with their provenance.
 
-A downstream user wants to train once and reuse the embedding matrix; these
-helpers persist the matrix together with the configuration and dataset
-fingerprint that produced it, so a loaded embedding is never silently applied
-to the wrong graph.
+A downstream user wants to train once and reuse the result; these helpers
+persist embeddings — and, for full checkpoints, the trained network weights
+and normalised configuration — together with a fingerprint of the dataset
+that produced them, so a loaded artifact is never silently applied to the
+wrong graph.  The low-level archive format lives here (plain ``.npz``, no
+pickling); :mod:`repro.serve.checkpoint` wraps it with model reconstruction.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 import numpy as np
+
+#: Bumped when the checkpoint archive layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Prefix namespacing model parameters inside a checkpoint archive, so they
+#: can never collide with the fixed metadata keys.
+_PARAM_PREFIX = "param::"
 
 
 def save_embeddings(path: str, embeddings: np.ndarray, metadata: dict = None):
@@ -43,6 +53,112 @@ def load_embeddings(path: str, expected_num_nodes: int = None) -> tuple:
             f"({expected_num_nodes})"
         )
     return embeddings, metadata
+
+
+def graph_fingerprint(graph) -> str:
+    """Deterministic content digest of an attributed graph.
+
+    Hashes the CSR adjacency (structure and weights), the attribute matrix,
+    and the labels, so any change to the data a model was trained on — an
+    added edge, a rescaled attribute — produces a different fingerprint.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    adjacency = graph.adjacency.tocsr()
+    digest.update(np.int64(adjacency.shape[0]).tobytes())
+    for array in (adjacency.indptr, adjacency.indices, adjacency.data,
+                  np.ascontiguousarray(graph.attributes)):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    if graph.labels is not None:
+        digest.update(np.ascontiguousarray(graph.labels).tobytes())
+    return digest.hexdigest()
+
+
+def normalized_config(config) -> dict:
+    """Reconstructible snapshot of a :class:`~repro.core.CoANEConfig`.
+
+    Unlike :func:`config_metadata` (which ``repr()``s anything non-JSON for
+    display), this keeps only plain-typed constructor fields and drops
+    runtime-only ones (``history_hooks``), so ``CoANEConfig(**snapshot)``
+    rebuilds an equivalent configuration.
+    """
+    snapshot = {}
+    for key, value in vars(config).items():
+        if key == "history_hooks":
+            continue
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            snapshot[key] = value
+        else:
+            raise ValueError(
+                f"config field {key!r} of type {type(value).__name__} is not "
+                "checkpoint-serialisable"
+            )
+    return snapshot
+
+
+def save_checkpoint(path: str, state: dict, embeddings: np.ndarray,
+                    config: dict, fingerprint: str, extra: dict = None) -> str:
+    """Write a full training checkpoint to one ``.npz`` archive.
+
+    Parameters
+    ----------
+    state:
+        Model ``state_dict`` (parameter name -> array).
+    embeddings:
+        The trained ``(n, d')`` embedding matrix.
+    config:
+        JSON-serialisable configuration snapshot (see
+        :func:`normalized_config`).
+    fingerprint:
+        Dataset digest from :func:`graph_fingerprint`.
+    extra:
+        Optional JSON-serialisable side data (model spec, dataset name, ...).
+
+    Returns the path actually written: ``numpy.savez`` appends ``.npz`` to
+    suffix-less paths, so the suffix is normalised here and the caller must
+    use the return value.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError("embeddings must be a 2-D matrix")
+    payload = {
+        "format_version": np.int64(CHECKPOINT_FORMAT_VERSION),
+        "embeddings": embeddings,
+        "config_json": np.array(json.dumps(config)),
+        "fingerprint": np.array(str(fingerprint)),
+        "extra_json": np.array(json.dumps(extra or {})),
+    }
+    for name, value in state.items():
+        payload[_PARAM_PREFIX + name] = np.asarray(value, dtype=np.float64)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(path: str) -> dict:
+    """Load an archive written by :func:`save_checkpoint`.
+
+    Returns ``{"state", "embeddings", "config", "fingerprint", "extra"}``;
+    raises ``ValueError`` for foreign or incompatible archives.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if "format_version" not in archive or "config_json" not in archive:
+            raise ValueError(f"{path} is not a checkpoint archive")
+        version = int(archive["format_version"])
+        if version > CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {version} is newer than supported "
+                f"({CHECKPOINT_FORMAT_VERSION})"
+            )
+        state = {key[len(_PARAM_PREFIX):]: archive[key]
+                 for key in archive.files if key.startswith(_PARAM_PREFIX)}
+        return {
+            "state": state,
+            "embeddings": archive["embeddings"],
+            "config": json.loads(str(archive["config_json"])),
+            "fingerprint": str(archive["fingerprint"]),
+            "extra": json.loads(str(archive["extra_json"])),
+        }
 
 
 def config_metadata(config) -> dict:

@@ -127,25 +127,22 @@ def extract_contexts(
     positive = frequency > 0
     keep_probability[positive] = np.minimum(1.0, np.sqrt(subsample_t / frequency[positive]))
 
-    windows = []
-    midsts = []
-    for position in range(length):
-        centres = walks[:, position]
-        if position == 0:
-            keep = np.ones(num_walks, dtype=bool)
-        else:
-            keep = rng.random(num_walks) < keep_probability[centres]
-        if not keep.any():
-            continue
-        block = padded[keep, position:position + context_size]
-        windows.append(block)
-        midsts.append(centres[keep])
-    if windows:
-        all_windows = np.vstack(windows)
-        all_midsts = np.concatenate(midsts)
-    else:
-        all_windows = np.empty((0, context_size), dtype=np.int64)
-        all_midsts = np.empty(0, dtype=np.int64)
+    # Keep decisions for every (position, walk) slot in one draw; position 0
+    # of each walk is always kept.  ``rng.random((length - 1, num_walks))``
+    # produces the same uniform stream as the per-position ``random(num_walks)``
+    # calls the block-loop reference makes, so seeded outputs are unchanged.
+    keep = np.ones((length, num_walks), dtype=bool)
+    if length > 1:
+        draws = rng.random((length - 1, num_walks))
+        keep[1:] = draws < keep_probability[walks[:, 1:].T]
+
+    # Every window is a length-c slice of a padded walk; the sliding-window
+    # view makes all of them addressable at once, and one boolean gather in
+    # (position, walk) order writes the kept windows straight into a single
+    # output allocation — no per-position block list, no final np.vstack.
+    view = np.lib.stride_tricks.sliding_window_view(padded, context_size, axis=1)
+    all_windows = view.transpose(1, 0, 2)[keep]
+    all_midsts = walks.T[keep]
     return ContextSet(all_windows, all_midsts, num_nodes)
 
 

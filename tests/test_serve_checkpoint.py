@@ -1,0 +1,172 @@
+"""Checkpoint round-trips: weights, config, fingerprint guard."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoANE, CoANEConfig
+from repro.core.model import CoANEModel
+from repro.graph import citation_graph
+from repro.nn import no_grad
+from repro.serve import Checkpoint, CheckpointMismatchError
+from repro.utils.persistence import (
+    graph_fingerprint,
+    load_checkpoint,
+    normalized_config,
+    save_checkpoint,
+)
+from repro.walks.contexts import attribute_context_matrices
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_graph):
+    estimator = CoANE(CoANEConfig(embedding_dim=8, epochs=4, seed=0))
+    estimator.fit(tiny_graph)
+    return estimator
+
+
+class TestStateDict:
+    def test_roundtrip_identical_parameters(self):
+        model = CoANEModel(num_attributes=6, embedding_dim=4, context_size=3,
+                           decoder_hidden=5, seed=0)
+        rebuilt = CoANEModel.from_spec(model.spec(), seed=123)
+        rebuilt.load_state_dict(model.state_dict())
+        for (name, left), (name2, right) in zip(model.named_parameters(),
+                                                rebuilt.named_parameters()):
+            assert name == name2
+            np.testing.assert_array_equal(left.data, right.data)
+
+    def test_names_cover_all_parameters(self):
+        model = CoANEModel(num_attributes=6, embedding_dim=4, context_size=3, seed=0)
+        assert len(model.named_parameters()) == len(model.parameters())
+
+    def test_strict_rejects_missing_and_unexpected(self):
+        model = CoANEModel(num_attributes=6, embedding_dim=4, context_size=3, seed=0)
+        state = model.state_dict()
+        state.pop("encoder.weight")
+        with pytest.raises(ValueError, match="missing"):
+            model.load_state_dict(state)
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(ValueError, match="unexpected"):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        model = CoANEModel(num_attributes=6, embedding_dim=4, context_size=3, seed=0)
+        state = model.state_dict()
+        state["encoder.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict(state)
+
+    def test_fc_extractor_spec_roundtrip(self):
+        model = CoANEModel(num_attributes=6, embedding_dim=4, context_size=3,
+                           extractor="fc", seed=0)
+        rebuilt = CoANEModel.from_spec(model.spec(), seed=9)
+        rebuilt.load_state_dict(model.state_dict())
+        assert rebuilt.extractor == "fc"
+
+
+class TestNormalizedConfig:
+    def test_reconstructs_equivalent_config(self):
+        config = CoANEConfig(embedding_dim=32, epochs=7, negative_mode="uniform")
+        snapshot = normalized_config(config)
+        rebuilt = CoANEConfig(**snapshot).validate()
+        assert vars(rebuilt) == {**vars(config), "history_hooks": []}
+
+    def test_drops_history_hooks(self):
+        config = CoANEConfig()
+        config.history_hooks.append(lambda e, z: None)
+        assert "history_hooks" not in normalized_config(config)
+
+
+class TestGraphFingerprint:
+    def test_deterministic(self, tiny_graph):
+        assert (graph_fingerprint(tiny_graph)
+                == graph_fingerprint(tiny_graph))
+
+    def test_sensitive_to_edges_attributes_labels(self, tiny_graph):
+        base = graph_fingerprint(tiny_graph)
+        edited = citation_graph(num_nodes=40, num_classes=2, num_attributes=20,
+                                avg_degree=3.0, homophily=0.85, seed=4)
+        assert graph_fingerprint(edited) != base
+        from repro.graph import AttributedGraph
+
+        bumped = AttributedGraph(tiny_graph.adjacency,
+                                 tiny_graph.attributes + 1e-9,
+                                 tiny_graph.labels)
+        assert graph_fingerprint(bumped) != base
+
+
+class TestCheckpointRoundtrip:
+    def test_save_load_preserves_everything(self, fitted, tiny_graph, tmp_path):
+        checkpoint = Checkpoint.from_estimator(fitted, tiny_graph)
+        path = str(tmp_path / "run.ckpt.npz")
+        checkpoint.save(path)
+        loaded = Checkpoint.load(path)
+        np.testing.assert_array_equal(loaded.embeddings, fitted.embeddings_)
+        assert loaded.config == checkpoint.config
+        assert loaded.model_spec == checkpoint.model_spec
+        assert loaded.fingerprint == checkpoint.fingerprint
+        assert loaded.info["num_nodes"] == tiny_graph.num_nodes
+        for name, value in checkpoint.state.items():
+            np.testing.assert_array_equal(loaded.state[name], value)
+
+    def test_rebuilt_model_reproduces_training_embeddings(
+            self, fitted, tiny_graph, tmp_path):
+        """The frozen network applied to the training context corpus must
+        reproduce the persisted embedding matrix exactly."""
+        path = str(tmp_path / "run.ckpt.npz")
+        Checkpoint.from_estimator(fitted, tiny_graph).save(path)
+        loaded = Checkpoint.load(path)
+        model = loaded.build_model()
+        flat = attribute_context_matrices(fitted.context_set_,
+                                          tiny_graph.attributes)
+        with no_grad():
+            rebuilt = model.embed(flat, fitted.context_set_.midst,
+                                  tiny_graph.num_nodes).data
+        np.testing.assert_allclose(rebuilt, loaded.embeddings, atol=1e-12)
+
+    def test_fingerprint_guard(self, fitted, tiny_graph):
+        checkpoint = Checkpoint.from_estimator(fitted, tiny_graph)
+        other = citation_graph(num_nodes=40, num_classes=2, num_attributes=20,
+                               avg_degree=3.0, homophily=0.85, seed=11)
+        assert checkpoint.matches(tiny_graph)
+        assert not checkpoint.matches(other)
+        with pytest.raises(CheckpointMismatchError):
+            checkpoint.verify(other)
+        assert checkpoint.verify(tiny_graph) is checkpoint
+
+    def test_unfitted_estimator_rejected(self, tiny_graph):
+        with pytest.raises(RuntimeError):
+            Checkpoint.from_estimator(CoANE(CoANEConfig()), tiny_graph)
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_future_format_rejected(self, tmp_path):
+        path = str(tmp_path / "future.npz")
+        save_checkpoint(path, {}, np.zeros((2, 2)), {}, "abc")
+        import numpy as _np
+
+        data = dict(_np.load(path, allow_pickle=False))
+        data["format_version"] = _np.int64(99)
+        _np.savez(path, **data)
+        with pytest.raises(ValueError, match="newer"):
+            load_checkpoint(path)
+
+    def test_save_normalises_suffixless_path(self, fitted, tiny_graph, tmp_path):
+        """numpy appends .npz to suffix-less paths; save() must return the
+        path that actually exists."""
+        checkpoint = Checkpoint.from_estimator(fitted, tiny_graph)
+        written = checkpoint.save(str(tmp_path / "run.ckpt"))
+        assert written.endswith(".npz")
+        loaded = Checkpoint.load(written)
+        assert loaded.fingerprint == checkpoint.fingerprint
+
+    def test_to_config_round_trip(self, fitted, tiny_graph):
+        checkpoint = Checkpoint.from_estimator(fitted, tiny_graph)
+        config = checkpoint.to_config()
+        assert config.embedding_dim == 8
+        assert config.epochs == 4

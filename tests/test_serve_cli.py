@@ -1,0 +1,102 @@
+"""CLI + bench surface of the serve layer, incl. the acceptance check:
+``repro query --topk k`` must exactly match brute force on a seeded
+pubmed-analog run for all three metrics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import run
+from repro.perf import run_serve_bench
+from repro.serve import METRICS, Checkpoint, EmbeddingIndex
+
+
+@pytest.fixture(scope="module")
+def pubmed_checkpoint(tmp_path_factory):
+    """One seeded pubmed-analog export shared by the CLI tests."""
+    path = str(tmp_path_factory.mktemp("serve") / "pubmed.ckpt.npz")
+    code = run(["export", "--dataset", "pubmed", "--scale", "0.2",
+                "--dim", "32", "--epochs", "4", "--seed", "0",
+                "--output", path])
+    assert code == 0
+    return path
+
+
+class TestExportCLI:
+    def test_checkpoint_is_loadable_and_fingerprinted(self, pubmed_checkpoint):
+        checkpoint = Checkpoint.load(pubmed_checkpoint)
+        assert checkpoint.info["dataset"] == "pubmed"
+        assert checkpoint.embeddings.shape[1] == 32
+        assert len(checkpoint.fingerprint) == 32
+        assert checkpoint.state  # trained weights present
+
+    def test_export_requires_data_source(self):
+        with pytest.raises(SystemExit):
+            run(["export"])
+
+
+class TestQueryCLI:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_query_matches_bruteforce(self, pubmed_checkpoint, metric, capsys):
+        """Acceptance: CLI results equal the full-score-matrix reference
+        under the deterministic tie rule for dot, cosine, and L2."""
+        topk = 7
+        nodes = [0, 11, 42]
+        code = run(["query", "--checkpoint", pubmed_checkpoint,
+                    "--metric", metric, "--topk", str(topk)]
+                   + [arg for node in nodes for arg in ("--node", str(node))])
+        assert code == 0
+        out = capsys.readouterr().out
+
+        checkpoint = Checkpoint.load(pubmed_checkpoint)
+        index = EmbeddingIndex(checkpoint.embeddings, metric=metric)
+        scores = index.scores(checkpoint.embeddings[nodes])
+        ids = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
+        scores = np.array(scores)
+        scores[np.arange(len(nodes)), nodes] = -np.inf  # CLI excludes self
+        order = np.lexsort((ids, -scores), axis=-1)[:, :topk]
+
+        printed = [int(line.split("|")[2]) for line in out.splitlines()
+                   if "|" in line and line.split("|")[0].strip().isdigit()]
+        expected = [int(col) for row in order for col in row]
+        assert printed == expected
+
+    def test_include_self_puts_query_first(self, pubmed_checkpoint, capsys):
+        code = run(["query", "--checkpoint", pubmed_checkpoint,
+                    "--node", "5", "--topk", "3", "--include-self"])
+        assert code == 0
+        rows = [line for line in capsys.readouterr().out.splitlines()
+                if line.strip().startswith("5 |")]
+        assert rows and int(rows[0].split("|")[2]) == 5
+
+
+class TestServeBench:
+    def test_report_records_required_numbers(self, small_graph):
+        report = run_serve_bench(graph=small_graph, epochs=2, topk=5,
+                                 single_queries=5, batch_size=16)
+        assert report["benchmark"] == "serve"
+        for metric in METRICS:
+            entry = report["index"][metric]
+            assert entry["build_seconds"] >= 0.0
+            assert entry["single_query_mean_s"] > 0.0
+            assert entry["batched_queries_per_s"] > 0.0
+        assert report["checkpoint"]["save_seconds"] > 0.0
+        assert report["cache"]["hit_was_cached"] is True
+
+    def test_bench_stage_serve_cli_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_serve.json"
+        code = run(["bench", "--stage", "serve", "--dataset", "webkb-cornell",
+                    "--scale", "0.4", "--epochs", "2", "--batch-size", "16",
+                    "--topk", "5", "--output", str(output)])
+        assert code == 0
+        assert "serve bench" in capsys.readouterr().out
+        with open(output) as handle:
+            report = json.load(handle)
+        assert report["benchmark"] == "serve"
+        assert set(report["index"]) == set(METRICS)
+        assert "timestamp" in report
+
+    def test_requires_dataset_or_graph(self):
+        with pytest.raises(ValueError):
+            run_serve_bench()

@@ -1,0 +1,143 @@
+"""EmbeddingIndex: chunked top-k must equal the brute-force reference."""
+
+import numpy as np
+import pytest
+
+from repro.serve import METRICS, EmbeddingIndex
+
+
+def _bruteforce_topk(index, queries, k):
+    """Full score matrix + global deterministic sort (score desc, id asc)."""
+    scores = index.scores(queries)
+    ids = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
+    order = np.lexsort((ids, -scores), axis=-1)[:, :k]
+    return (np.take_along_axis(np.ascontiguousarray(ids), order, axis=1),
+            np.take_along_axis(scores, order, axis=1))
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((157, 24))
+
+
+class TestExactness:
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 64, 10_000])
+    def test_matches_bruteforce_for_every_chunking(self, vectors, metric, chunk_rows):
+        index = EmbeddingIndex(vectors, metric=metric, chunk_rows=chunk_rows)
+        queries = vectors[11:40]
+        ids, scores = index.search(queries, topk=9)
+        ref_ids, ref_scores = _bruteforce_topk(index, queries, 9)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(scores, ref_scores)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_self_is_top1_without_exclusion(self, vectors, metric):
+        index = EmbeddingIndex(vectors, metric=metric)
+        nodes = np.arange(0, 157, 13)
+        ids, _ = index.search_ids(nodes, topk=3, exclude_self=False)
+        np.testing.assert_array_equal(ids[:, 0], nodes)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_exclude_self(self, vectors, metric):
+        index = EmbeddingIndex(vectors, metric=metric, chunk_rows=13)
+        nodes = np.arange(0, 157, 11)
+        ids, _ = index.search_ids(nodes, topk=5)
+        assert not (ids == nodes[:, None]).any()
+
+    def test_topk_clipped_to_index_size(self, vectors):
+        index = EmbeddingIndex(vectors[:6], metric="dot")
+        ids, scores = index.search(vectors[:2], topk=50)
+        assert ids.shape == (2, 6)
+
+    def test_topk_with_exclusion_never_returns_masked_node(self, vectors):
+        """With self-exclusion, topk >= n must yield n-1 real neighbors, not
+        pad with the masked node at -inf."""
+        index = EmbeddingIndex(vectors[:6], metric="dot")
+        ids, scores = index.search_ids([2, 4], topk=50)
+        assert ids.shape == (2, 5)
+        assert 2 not in ids[0] and 4 not in ids[1]
+        assert np.isfinite(scores).all()
+        single = EmbeddingIndex(vectors[:1], metric="dot")
+        ids, scores = single.search_ids([0], topk=3)
+        assert ids.shape == (1, 0) and scores.shape == (1, 0)
+
+
+class TestTieBreaking:
+    def test_exact_ties_prefer_lower_id(self):
+        base = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        index = EmbeddingIndex(base, metric="dot", chunk_rows=2)
+        ids, scores = index.search(np.array([[1.0, 0.0]]), topk=3)
+        np.testing.assert_array_equal(ids[0], [0, 1, 3])
+        assert scores[0, 0] == scores[0, 1] == scores[0, 2]
+
+    def test_zero_vectors_cosine_stable(self):
+        base = np.zeros((5, 3))
+        base[2] = [1.0, 0.0, 0.0]
+        index = EmbeddingIndex(base, metric="cosine")
+        ids, scores = index.search(np.array([[1.0, 0.0, 0.0]]), topk=5)
+        assert ids[0, 0] == 2
+        np.testing.assert_array_equal(ids[0, 1:], [0, 1, 3, 4])
+
+
+class TestSemantics:
+    def test_l2_scores_are_negative_squared_distances(self, vectors):
+        index = EmbeddingIndex(vectors, metric="l2", chunk_rows=32)
+        query = vectors[3:4]
+        _, scores = index.search(query, topk=1)
+        v32 = np.asarray(vectors, dtype=np.float32)
+        expected = -np.min(((v32 - v32[3]) ** 2).sum(axis=1))
+        assert scores[0, 0] == pytest.approx(expected, abs=1e-4)
+
+    def test_cosine_scores_bounded(self, vectors):
+        index = EmbeddingIndex(vectors, metric="cosine")
+        _, scores = index.search(vectors[:20], topk=4)
+        assert (scores <= 1.0 + 1e-5).all() and (scores >= -1.0 - 1e-5).all()
+
+    def test_add_extends_index(self, vectors):
+        index = EmbeddingIndex(vectors, metric="cosine")
+        new_ids = index.add(vectors[:3] * 2.0)
+        np.testing.assert_array_equal(new_ids, [157, 158, 159])
+        # A doubled copy has cosine 1 with its source; tie broken by lower id.
+        ids, _ = index.search(vectors[:1], topk=2)
+        assert set(ids[0]) == {0, 157}
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_stacked_adds_match_fresh_build(self, vectors, metric):
+        """Many single-row add() calls must leave the index equivalent to one
+        built from the full matrix (the amortised buffers are invisible)."""
+        grown = EmbeddingIndex(vectors[:100], metric=metric, chunk_rows=33)
+        for row in vectors[100:]:
+            grown.add(row)
+        fresh = EmbeddingIndex(vectors, metric=metric, chunk_rows=33)
+        ids_a, scores_a = grown.search(vectors[:15], topk=6)
+        ids_b, scores_b = fresh.search(vectors[:15], topk=6)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(scores_a, scores_b)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_update_replaces_vector(self, vectors, metric):
+        index = EmbeddingIndex(vectors, metric=metric)
+        index.update(5, vectors[0])
+        replaced = EmbeddingIndex(np.vstack([vectors[:5], vectors[0:1],
+                                             vectors[6:]]), metric=metric)
+        ids_a, scores_a = index.search(vectors[:10], topk=4)
+        ids_b, scores_b = replaced.search(vectors[:10], topk=4)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(scores_a, scores_b)
+        with pytest.raises(IndexError):
+            index.update(10_000, vectors[0])
+
+    def test_input_validation(self, vectors):
+        with pytest.raises(ValueError):
+            EmbeddingIndex(vectors, metric="manhattan")
+        index = EmbeddingIndex(vectors)
+        with pytest.raises(ValueError):
+            index.search(np.zeros((2, 5)), topk=3)
+        with pytest.raises(ValueError):
+            index.search(vectors[:2], topk=0)
+        with pytest.raises(IndexError):
+            index.search_ids([999], topk=1)
+        with pytest.raises(ValueError):
+            index.add(np.zeros((1, 5)))

@@ -1,0 +1,124 @@
+"""Inductive inference: frozen-encoder embeddings of seen and unseen nodes."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoANE, CoANEConfig
+from repro.serve import Checkpoint, EmbeddingIndex, InductiveEncoder, augment_graph
+
+
+@pytest.fixture(scope="module")
+def trained(small_graph):
+    estimator = CoANE(CoANEConfig(embedding_dim=16, epochs=20, seed=0))
+    estimator.fit(small_graph)
+    checkpoint = Checkpoint.from_estimator(estimator, small_graph)
+    return estimator, checkpoint
+
+
+def _cosine_rows(a, b):
+    norms = np.linalg.norm(a, axis=1) * np.linalg.norm(b, axis=1)
+    return (a * b).sum(axis=1) / np.maximum(norms, 1e-12)
+
+
+class TestSeenNodeAgreement:
+    def test_inductive_matches_transductive_on_seen_nodes(self, trained, small_graph):
+        """Fresh-context embeddings of training nodes must agree with the
+        trained matrix: same encoder, same graph, only the sampled contexts
+        differ."""
+        estimator, checkpoint = trained
+        encoder = InductiveEncoder(checkpoint.build_model(), small_graph,
+                                   checkpoint.to_config(), seed=123)
+        nodes = np.arange(small_graph.num_nodes)
+        inductive = encoder.embed_nodes(nodes, num_walks=8)
+        cosines = _cosine_rows(inductive, estimator.embeddings_)
+        assert cosines.mean() > 0.9
+        assert np.median(cosines) > 0.9
+
+    def test_inductive_self_retrieval(self, trained, small_graph):
+        """An inductively embedded seen node should retrieve itself (or at
+        least rank it highly) in the trained index."""
+        estimator, checkpoint = trained
+        encoder = InductiveEncoder(checkpoint.build_model(), small_graph,
+                                   checkpoint.to_config(), seed=5)
+        nodes = np.arange(0, small_graph.num_nodes, 7)
+        inductive = encoder.embed_nodes(nodes, num_walks=8)
+        index = EmbeddingIndex(estimator.embeddings_, metric="cosine")
+        ids, _ = index.search(inductive, topk=5)
+        hit_rate = (ids == nodes[:, None]).any(axis=1).mean()
+        assert hit_rate > 0.8
+
+    def test_seeded_determinism(self, trained, small_graph):
+        _, checkpoint = trained
+        model = checkpoint.build_model()
+        config = checkpoint.to_config()
+        a = InductiveEncoder(model, small_graph, config, seed=9).embed_nodes([1, 2, 3])
+        b = InductiveEncoder(model, small_graph, config, seed=9).embed_nodes([1, 2, 3])
+        np.testing.assert_array_equal(a, b)
+
+    def test_duplicate_and_empty_requests(self, trained, small_graph):
+        _, checkpoint = trained
+        encoder = InductiveEncoder(checkpoint.build_model(), small_graph,
+                                   checkpoint.to_config(), seed=0)
+        pair = encoder.embed_nodes([4, 4])
+        np.testing.assert_array_equal(pair[0], pair[1])
+        empty = encoder.embed_nodes([])
+        assert empty.shape == (0, checkpoint.embedding_dim)
+        with pytest.raises(IndexError):
+            encoder.embed_nodes([small_graph.num_nodes])
+
+
+class TestUnseenNodes:
+    def test_augment_graph_shapes(self, small_graph):
+        n = small_graph.num_nodes
+        new_attrs = np.ones((2, small_graph.num_attributes))
+        augmented, ids = augment_graph(small_graph, new_attrs,
+                                       [[n, 0], [n + 1, 3], [n, n + 1]])
+        np.testing.assert_array_equal(ids, [n, n + 1])
+        assert augmented.num_nodes == n + 2
+        assert augmented.has_edge(n, 0) and augmented.has_edge(n, n + 1)
+        np.testing.assert_array_equal(augmented.attributes[n], new_attrs[0])
+
+    def test_augment_graph_keeps_existing_edge_weights(self, small_graph):
+        """Re-listing a known edge must not double its weight."""
+        n = small_graph.num_nodes
+        u = 0
+        v = int(small_graph.neighbors(0)[0])
+        original = small_graph.adjacency[u, v]
+        augmented, _ = augment_graph(
+            small_graph, np.ones((1, small_graph.num_attributes)),
+            [[u, v], [n, u], [n, u]])
+        assert augmented.adjacency[u, v] == original
+        assert augmented.adjacency[n, u] == 1.0
+
+    def test_augment_graph_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            augment_graph(small_graph, np.ones((1, 3)), [])
+        with pytest.raises(ValueError):
+            augment_graph(small_graph, np.ones((1, small_graph.num_attributes)),
+                          [[0, 10_000]])
+
+    def test_new_node_lands_near_its_neighborhood(self, trained, small_graph):
+        """A new node wired into node 0's neighborhood with node 0's
+        attributes should embed close to node 0."""
+        estimator, checkpoint = trained
+        encoder = InductiveEncoder(checkpoint.build_model(), small_graph,
+                                   checkpoint.to_config(), seed=3)
+        n = small_graph.num_nodes
+        anchors = small_graph.neighbors(0)[:3].tolist() + [0]
+        vector = encoder.embed_new(small_graph.attributes[0],
+                                   [[n, anchor] for anchor in anchors],
+                                   num_walks=8)
+        assert vector.shape == (1, checkpoint.embedding_dim)
+        index = EmbeddingIndex(estimator.embeddings_, metric="cosine")
+        ids, _ = index.search(vector, topk=10)
+        assert 0 in ids[0]
+
+    def test_follow_up_arrivals_stack(self, trained, small_graph):
+        _, checkpoint = trained
+        encoder = InductiveEncoder(checkpoint.build_model(), small_graph,
+                                   checkpoint.to_config(), seed=3)
+        n = small_graph.num_nodes
+        first = encoder.embed_new(small_graph.attributes[1], [[n, 1]])
+        second = encoder.embed_new(small_graph.attributes[2], [[n + 1, 2], [n + 1, n]])
+        assert first.shape == second.shape == (1, checkpoint.embedding_dim)
+        assert encoder.graph.num_nodes == n + 2

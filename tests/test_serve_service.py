@@ -1,0 +1,195 @@
+"""EmbeddingService: micro-batching, the LRU cache, and scorer wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoANE, CoANEConfig
+from repro.serve import Checkpoint, CheckpointMismatchError, EmbeddingService
+from repro.serve.service import _LRUCache
+
+
+@pytest.fixture(scope="module")
+def served(small_graph):
+    estimator = CoANE(CoANEConfig(embedding_dim=16, epochs=10, seed=0))
+    estimator.fit(small_graph)
+    return Checkpoint.from_estimator(estimator, small_graph)
+
+
+@pytest.fixture
+def service(served, small_graph):
+    return EmbeddingService(served, graph=small_graph, metric="cosine",
+                            cache_size=32, max_batch=4, seed=0)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh a
+        cache.put("c", 3)               # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_zero_capacity_disables(self):
+        cache = _LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+
+
+class TestQueries:
+    def test_query_roundtrip_and_cache(self, service):
+        first = service.query(3, topk=5)
+        second = service.query(3, topk=5)
+        assert not first.cached and second.cached
+        np.testing.assert_array_equal(first.neighbor_ids, second.neighbor_ids)
+        np.testing.assert_array_equal(first.scores, second.scores)
+        stats = service.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["queries"] == 2
+
+    def test_mutating_a_result_cannot_corrupt_the_cache(self, service):
+        first = service.query(9, topk=4)
+        first.neighbor_ids[0] = -1
+        first.scores[0] = 0.0
+        again = service.query(9, topk=4)
+        assert again.cached
+        assert again.neighbor_ids[0] != -1
+        again.neighbor_ids[1] = -2
+        assert service.query(9, topk=4).neighbor_ids[1] != -2
+
+    def test_query_excludes_self(self, service):
+        result = service.query(7, topk=5)
+        assert 7 not in result.neighbor_ids
+
+    def test_query_many_matches_singles(self, service):
+        batch = service.query_many([1, 2, 3], topk=4)
+        fresh = EmbeddingService(service.checkpoint, metric="cosine",
+                                 verify=False)
+        for result in batch:
+            single = fresh.query(result.query, topk=4)
+            np.testing.assert_array_equal(result.neighbor_ids, single.neighbor_ids)
+
+    def test_query_many_uses_one_batch(self, service):
+        service.query_many([5, 6, 8, 9], topk=3)
+        assert service.stats()["batches"] == 1
+        assert service.stats()["batched_queries"] == 4
+
+    def test_different_topk_not_conflated(self, service):
+        wide = service.query(4, topk=8)
+        narrow = service.query(4, topk=2)
+        assert not narrow.cached
+        np.testing.assert_array_equal(wide.neighbor_ids[:2], narrow.neighbor_ids)
+
+    def test_query_vector(self, service, served):
+        result = service.query_vector(served.embeddings[0], topk=3)
+        assert result.query == -1
+        assert result.neighbor_ids[0] == 0  # no self-exclusion for raw vectors
+
+
+class TestMicroBatching:
+    def test_submit_defers_until_flush(self, service):
+        pending = service.submit(1, topk=3)
+        with pytest.raises(RuntimeError):
+            pending.get()
+        answered = service.flush()
+        assert answered == 1
+        assert pending.get().neighbor_ids.shape == (3,)
+
+    def test_auto_flush_at_max_batch(self, service):
+        requests = [service.submit(node, topk=3) for node in range(4)]
+        # max_batch=4: the fourth submit flushed the whole batch.
+        assert all(request.result is not None for request in requests)
+        assert service.stats()["batches"] == 1
+
+    def test_bad_submit_rejected_without_poisoning_the_batch(self, service):
+        good = service.submit(1, topk=3)
+        with pytest.raises(IndexError):
+            service.submit(10**6, topk=3)
+        service.flush()
+        assert good.get().neighbor_ids.shape == (3,)
+
+    def test_mixed_topk_batches_grouped(self, service):
+        a = service.submit(1, topk=3)
+        b = service.submit(2, topk=6)
+        service.flush()
+        assert a.get().neighbor_ids.shape == (3,)
+        assert b.get().neighbor_ids.shape == (6,)
+
+
+class TestScoring:
+    def test_edge_scores_separate_edges_from_far_pairs(self, service, small_graph):
+        edges = small_graph.edge_list()[:20]
+        edge_scores = service.score_edges(edges)
+        assert edge_scores.shape == (20,)
+        assert ((edge_scores >= 0) & (edge_scores <= 1)).all()
+
+    def test_classify_agrees_with_labels_mostly(self, service, small_graph):
+        nodes = np.arange(small_graph.num_nodes)
+        predicted = service.classify(nodes=nodes)
+        accuracy = (predicted == small_graph.labels).mean()
+        assert accuracy > 0.5  # embeddings carry the class structure
+
+    def test_classify_proba_rows_normalised(self, service):
+        probabilities = service.classify_proba(nodes=[0, 1, 2])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_scoring_requires_graph(self, served):
+        bare = EmbeddingService(served, metric="dot", verify=False)
+        with pytest.raises(RuntimeError):
+            bare.score_edges([[0, 1]])
+        with pytest.raises(RuntimeError):
+            bare.classify(nodes=[0])
+
+
+class TestInductiveWiring:
+    def test_embed_new_becomes_queryable(self, service, small_graph):
+        n = small_graph.num_nodes
+        vectors = service.embed_new(small_graph.attributes[0], [[n, 0]],
+                                    num_walks=6)
+        assert vectors.shape == (1, 16)
+        assert service.index.num_vectors == n + 1
+        result = service.query_vector(vectors[0], topk=1)
+        assert result.neighbor_ids[0] == n
+
+    def test_post_training_nodes_rejected_by_scorers_with_clear_error(
+            self, service, small_graph):
+        n = small_graph.num_nodes
+        service.embed_new(small_graph.attributes[0], [[n, 0]], num_walks=4)
+        assert service.index.num_vectors == n + 1  # queryable in the index
+        with pytest.raises(IndexError, match="after training"):
+            service.classify(nodes=[n])
+        with pytest.raises(IndexError, match="after training"):
+            service.score_edges([[n, 0]])
+
+    def test_refresh_node_updates_serving_state(self, service):
+        before = service.query(2, topk=5)
+        vector = service.refresh_node(2, num_walks=6)
+        assert vector.shape == (16,)
+        np.testing.assert_allclose(service.index.vector(2),
+                                   vector.astype(np.float32), rtol=1e-6)
+        after = service.query(2, topk=5)
+        assert not after.cached  # refresh dropped the stale cache entry
+        assert before.cached is False
+
+    def test_wf_model_rejects_new_nodes(self, small_graph):
+        from repro.core import CoANE, CoANEConfig
+
+        wf = CoANE(CoANEConfig(embedding_dim=8, epochs=2, seed=0,
+                               use_attribute_input=False))
+        wf.fit(small_graph)
+        checkpoint = Checkpoint.from_estimator(wf, small_graph)
+        service = EmbeddingService(checkpoint, graph=small_graph, seed=0)
+        with pytest.raises(ValueError, match="identity-attribute"):
+            service.embed_new(small_graph.attributes[0], [[small_graph.num_nodes, 0]])
+
+
+class TestVerification:
+    def test_mismatched_graph_rejected(self, served):
+        from repro.graph import citation_graph
+
+        other = citation_graph(num_nodes=50, num_classes=2, num_attributes=60,
+                               seed=1)
+        with pytest.raises((CheckpointMismatchError, ValueError)):
+            EmbeddingService(served, graph=other)

@@ -409,6 +409,123 @@ class TestAliasTable:
         np.testing.assert_array_equal(a, b)
 
 
+class TestAliasConstructionVectorized:
+    """Three pinned properties: the ``'loop'`` method is bit-identical to
+    the seed construction (table layout is part of seeded behaviour), the
+    ``'rounds'`` method encodes exactly the same distribution, and ``'auto'``
+    routes by table size."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_loop_method_identical_to_seed_table(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        weights = rng.random(n) ** 3
+        if seed % 3 == 0:  # sprinkle exact zeros
+            weights[rng.integers(0, n, size=max(1, n // 4))] = 0.0
+        table = AliasTable(weights, method="loop")
+        loop_prob, loop_alias = reference.alias_table_voseloop(weights)
+        np.testing.assert_array_equal(table._prob, np.clip(loop_prob, 0.0, 1.0))
+        np.testing.assert_array_equal(table._alias, loop_alias)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_rounds_method_encodes_same_distribution(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        weights = rng.random(n) ** 3
+        if seed % 3 == 0:
+            weights[rng.integers(0, n, size=max(1, n // 4))] = 0.0
+        table = AliasTable(weights, method="rounds")
+        loop_prob, loop_alias = reference.alias_table_voseloop(weights)
+        expected = reference.alias_distribution(loop_prob, loop_alias)
+        observed = reference.alias_distribution(table._prob, table._alias)
+        np.testing.assert_allclose(observed, expected, atol=1e-12)
+        np.testing.assert_allclose(
+            observed,
+            weights / weights.sum() if weights.sum() > 0 else np.full(n, 1.0 / n),
+            atol=1e-12)
+
+    def test_auto_routes_by_size(self):
+        from repro.utils.alias import VECTORIZED_MIN_OUTCOMES
+
+        rng = np.random.default_rng(0)
+        small_weights = rng.random(64)
+        below = AliasTable(small_weights, method="auto")
+        loop = AliasTable(small_weights, method="loop")
+        np.testing.assert_array_equal(below._prob, loop._prob)
+        np.testing.assert_array_equal(below._alias, loop._alias)
+        big_weights = rng.random(VECTORIZED_MIN_OUTCOMES)
+        above = AliasTable(big_weights, method="auto")
+        rounds = AliasTable(big_weights, method="rounds")
+        np.testing.assert_array_equal(above._prob, rounds._prob)
+        np.testing.assert_array_equal(above._alias, rounds._alias)
+
+    def test_extreme_skew(self):
+        weights = np.full(5000, 1e-12)
+        weights[7] = 1.0
+        table = AliasTable(weights, method="rounds")
+        observed = reference.alias_distribution(table._prob, table._alias)
+        np.testing.assert_allclose(observed, weights / weights.sum(), atol=1e-12)
+
+    def test_sequential_fallback_agrees(self):
+        """Force the fallback path and check it produces a valid table too."""
+        import repro.utils.alias as alias_module
+
+        weights = np.random.default_rng(3).random(200)
+        original = alias_module._MAX_ROUNDS
+        alias_module._MAX_ROUNDS = 1
+        try:
+            table = AliasTable(weights, method="rounds")
+        finally:
+            alias_module._MAX_ROUNDS = original
+        observed = reference.alias_distribution(table._prob, table._alias)
+        np.testing.assert_allclose(observed, weights / weights.sum(), atol=1e-12)
+
+    def test_single_uniform_and_bad_method(self):
+        table = AliasTable(np.array([3.0]))
+        assert table.sample(np.random.default_rng(0), 5).tolist() == [0] * 5
+        uniform = AliasTable(np.full(16, 0.125), method="rounds")
+        np.testing.assert_allclose(uniform._prob, 1.0)
+        with pytest.raises(ValueError):
+            AliasTable(np.ones(3), method="bogus")
+
+
+class TestExtractContextsVectorized:
+    """The windowed-gather extraction consumes the same RNG stream as the
+    seed per-position block loop, so seeded outputs must be identical."""
+
+    @pytest.mark.parametrize("context_size", [1, 3, 5, 7])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_blockloop_reference(self, context_size, seed):
+        rng = np.random.default_rng(seed + 10)
+        walks = rng.integers(0, 25, size=(9, 14))
+        ours = extract_contexts(walks, context_size, 25,
+                                subsample_t=1e-3, seed=seed)
+        ref = reference.extract_contexts_blockloop(walks, context_size, 25,
+                                                   subsample_t=1e-3, seed=seed)
+        np.testing.assert_array_equal(ours.windows, ref.windows)
+        np.testing.assert_array_equal(ours.midst, ref.midst)
+
+    def test_heavy_subsampling_still_matches(self):
+        walks = np.zeros((6, 20), dtype=np.int64)  # one node: minimal keep prob
+        ours = extract_contexts(walks, 3, 1, subsample_t=1e-6, seed=4)
+        ref = reference.extract_contexts_blockloop(walks, 3, 1,
+                                                   subsample_t=1e-6, seed=4)
+        np.testing.assert_array_equal(ours.windows, ref.windows)
+        np.testing.assert_array_equal(ours.midst, ref.midst)
+        assert ours.num_contexts >= 6  # walk starts are always kept
+
+    def test_empty_walks(self):
+        empty = extract_contexts(np.empty((0, 5), dtype=np.int64), 3, 10, seed=0)
+        assert empty.num_contexts == 0
+        assert empty.windows.shape == (0, 3)
+
+    def test_single_position_walks(self):
+        walks = np.arange(4, dtype=np.int64)[:, None]
+        cs = extract_contexts(walks, 3, 4, seed=0)
+        assert cs.num_contexts == 4  # position 0 always kept
+        np.testing.assert_array_equal(np.sort(cs.midst), np.arange(4))
+
+
 class TestSegmentMeanSelectorCache:
     def test_matches_addat_reference(self):
         from repro.nn import Tensor, segment_mean

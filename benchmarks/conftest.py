@@ -13,6 +13,7 @@ Environment knobs:
   from :mod:`repro.baselines.registry`.
 """
 
+import functools
 import os
 
 import pytest
@@ -59,12 +60,47 @@ def lp_config(**overrides):
     return CoANEConfig(**base)
 
 
+@functools.lru_cache(maxsize=1)
+def run_context() -> str:
+    """One-line provenance stamp written under every results table so an
+    artifact can always be traced back to the commit/knobs that produced it
+    (timing-only diffs with no recorded provenance are otherwise
+    indistinguishable from hand edits).  Cached so every artifact of one
+    pytest process carries the same stamp."""
+    import platform
+    import subprocess
+
+    import numpy
+
+    try:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, check=True).stdout.strip()
+        # Only tracked, non-artifact modifications count as dirty: the
+        # benchmark/perf runs rewrite results/ and BENCH_*.json themselves,
+        # which must not make a pristine regeneration look hand-edited.
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain", "-uno", "--",
+             ".", ":(exclude)benchmarks/results", ":(exclude)BENCH_*.json"],
+            cwd=root, capture_output=True, text=True, check=True).stdout.strip()
+        if dirty:
+            commit += "-dirty"
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+    return ("[run context] commit=%s seed=%d scale=%s budget=%s "
+            "python=%s numpy=%s platform=%s" %
+            (commit, bench_seed(), bench_scale(), bench_budget(),
+             platform.python_version(), numpy.__version__,
+             platform.system() + "-" + platform.machine()))
+
+
 def save_result(experiment: str, text: str):
     """Print the regenerated table/series and persist it under results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
     with open(path, "w") as handle:
-        handle.write(text + "\n")
+        handle.write(text + "\n" + run_context() + "\n")
     print(f"\n{text}\n[saved to {path}]")
 
 

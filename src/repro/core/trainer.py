@@ -33,7 +33,8 @@ from repro.walks.cooccurrence import build_cooccurrence
 from repro.walks.random_walk import RandomWalker
 
 
-def _onehop_contexts(graph: AttributedGraph, context_size: int, rng) -> ContextSet:
+def _onehop_contexts(graph: AttributedGraph, context_size: int, rng,
+                     nodes=None, repeats: int = 1) -> ContextSet:
     """Contexts built from first-hop neighbors only (Fig. 6a's "Original
     Neighbors" case): each window centres the target and fills the remaining
     slots with neighbors sampled without positional meaning.
@@ -43,6 +44,12 @@ def _onehop_contexts(graph: AttributedGraph, context_size: int, rng) -> ContextS
     integer draw, and high-degree nodes sample without replacement via random
     sort keys over their incident edges (Gumbel-top-k style), ranked with one
     global lexsort instead of a per-window ``rng.choice``.
+
+    ``nodes`` restricts window generation to the given midst nodes (the
+    serving path embeds small batches, so cost must scale with the request,
+    not the graph) and ``repeats`` runs that many independent sampling passes
+    per node.  The defaults keep the training path's RNG stream bit-identical
+    to the original whole-graph single-pass form.
     """
     n = graph.num_nodes
     fill = max(context_size - 1, 1)
@@ -51,11 +58,15 @@ def _onehop_contexts(graph: AttributedGraph, context_size: int, rng) -> ContextS
     indptr = adj.indptr
     indices = adj.indices
     degrees = np.diff(indptr)
-    num_windows = np.maximum(1, -(-degrees // fill))  # ceil(deg / fill), min 1
+    seeds = np.arange(n, dtype=np.int64) if nodes is None \
+        else np.asarray(nodes, dtype=np.int64)
+    if repeats > 1:
+        seeds = np.repeat(seeds, repeats)
+    num_windows = np.maximum(1, -(-degrees[seeds] // fill))  # ceil(deg / fill), min 1
 
     total = int(num_windows.sum())
     windows = np.full((total, context_size), -1, dtype=np.int64)
-    midsts = np.repeat(np.arange(n, dtype=np.int64), num_windows)
+    midsts = np.repeat(seeds, num_windows)
     windows[:, half] = midsts
     window_degrees = degrees[midsts]
 

@@ -110,7 +110,9 @@ class InductiveEncoder:
         ``num_walks`` walks (default: the training ``num_walks``) are started
         at every requested node; windows centred on other nodes encountered
         along the way are discarded.  More walks average more contexts and
-        tighten the agreement with the transductive embedding.
+        tighten the agreement with the transductive embedding.  Under the
+        onehop ablation the same knob maps to independent neighbor-sampling
+        passes per node, defaulting to the single pass training makes.
         """
         cfg = self.config
         requested = np.asarray(nodes, dtype=np.int64).ravel()
@@ -126,7 +128,8 @@ class InductiveEncoder:
             # inference contexts must come from the same generator.
             from repro.core.trainer import _onehop_contexts
 
-            corpus = _onehop_contexts(self.graph, cfg.context_size, rng)
+            corpus = _onehop_contexts(self.graph, cfg.context_size, rng,
+                                      nodes=nodes, repeats=num_walks or 1)
         else:
             walker = RandomWalker(self.graph, seed=rng)
             walks = walker.walk(cfg.walk_length,
@@ -149,15 +152,28 @@ class InductiveEncoder:
         return embedded.data[inverse]
 
     def embed_new(self, new_attributes, new_edges, num_walks: int = None,
-                  seed=None) -> np.ndarray:
+                  seed=None, persist: bool = True) -> np.ndarray:
         """One-shot helper: augment the frozen graph with arriving nodes and
-        embed just them; ``(m, d')``.  The encoder keeps serving the
-        augmented graph afterwards, so follow-up arrivals stack."""
+        embed just them; ``(m, d')``.  With ``persist`` the encoder keeps
+        serving the augmented graph afterwards, so follow-up arrivals stack;
+        ``persist=False`` previews the vectors without growing the graph, so
+        node ids stay aligned with whatever index tracks this encoder."""
         if not self.config.use_attribute_input:
             # The WF ablation feeds identity rows: the input dimension is the
             # training node count, so an arriving node has no valid input row.
             raise ValueError(
                 "identity-attribute (WF ablation) models cannot embed new nodes"
             )
+        previous = self.graph
         self.graph, new_ids = augment_graph(self.graph, new_attributes, new_edges)
-        return self.embed_nodes(new_ids, num_walks=num_walks, seed=seed)
+        try:
+            vectors = self.embed_nodes(new_ids, num_walks=num_walks, seed=seed)
+        except BaseException:
+            # A failed embed must not keep the augmentation either: the node
+            # would exist in the graph with no index row, and the next arrival
+            # would take a graph id one ahead of its index id.
+            self.graph = previous
+            raise
+        if not persist:
+            self.graph = previous
+        return vectors

@@ -286,10 +286,13 @@ class EmbeddingService:
 
         Returns the new ``(m, d')`` vectors; with ``add_to_index`` they are
         appended to the index (ids continue from the current size) and the
-        stale-neighbor cache entries are dropped.
+        stale-neighbor cache entries are dropped.  Without it the call is a
+        stateless preview: neither the index nor the frozen graph grows, so
+        index ids and graph node ids can never drift apart.
         """
         vectors = self.inductive.embed_new(new_attributes, new_edges,
-                                           num_walks=num_walks)
+                                           num_walks=num_walks,
+                                           persist=add_to_index)
         if add_to_index:
             self.index.add(vectors)
             self._cache.clear()

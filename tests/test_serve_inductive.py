@@ -122,3 +122,59 @@ class TestUnseenNodes:
         second = encoder.embed_new(small_graph.attributes[2], [[n + 1, 2], [n + 1, n]])
         assert first.shape == second.shape == (1, checkpoint.embedding_dim)
         assert encoder.graph.num_nodes == n + 2
+
+    def test_embed_new_without_persist_keeps_graph(self, trained, small_graph):
+        _, checkpoint = trained
+        encoder = InductiveEncoder(checkpoint.build_model(), small_graph,
+                                   checkpoint.to_config(), seed=3)
+        n = small_graph.num_nodes
+        preview = encoder.embed_new(small_graph.attributes[1], [[n, 1]],
+                                    persist=False)
+        assert preview.shape == (1, checkpoint.embedding_dim)
+        assert encoder.graph.num_nodes == n
+
+    def test_failed_embed_new_reverts_augmentation(self, trained, small_graph,
+                                                   monkeypatch):
+        """If embedding fails mid-arrival the graph must roll back too —
+        a grown graph with no index row shifts every later arrival's id."""
+        _, checkpoint = trained
+        encoder = InductiveEncoder(checkpoint.build_model(), small_graph,
+                                   checkpoint.to_config(), seed=3)
+        n = small_graph.num_nodes
+        monkeypatch.setattr(InductiveEncoder, "embed_nodes",
+                            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError, match="boom"):
+            encoder.embed_new(small_graph.attributes[1], [[n, 1]])
+        assert encoder.graph.num_nodes == n
+
+
+class TestOnehopAblationServing:
+    @pytest.fixture(scope="class")
+    def onehop_trained(self, small_graph):
+        estimator = CoANE(CoANEConfig(embedding_dim=16, epochs=10, seed=0,
+                                      context_source="onehop"))
+        estimator.fit(small_graph)
+        return estimator, Checkpoint.from_estimator(estimator, small_graph)
+
+    def test_subset_embedding_deterministic_and_walk_sensitive(
+            self, onehop_trained, small_graph):
+        _, checkpoint = onehop_trained
+        model = checkpoint.build_model()
+        config = checkpoint.to_config()
+        a = InductiveEncoder(model, small_graph, config,
+                             seed=4).embed_nodes([1, 6], num_walks=3)
+        b = InductiveEncoder(model, small_graph, config,
+                             seed=4).embed_nodes([1, 6], num_walks=3)
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (2, checkpoint.embedding_dim)
+
+    def test_subset_agrees_with_transductive(self, onehop_trained, small_graph):
+        """Scoped onehop context generation must still land near the trained
+        vectors of the requested nodes."""
+        estimator, checkpoint = onehop_trained
+        encoder = InductiveEncoder(checkpoint.build_model(), small_graph,
+                                   checkpoint.to_config(), seed=11)
+        nodes = np.arange(0, small_graph.num_nodes, 5)
+        vectors = encoder.embed_nodes(nodes, num_walks=8)
+        cosines = _cosine_rows(vectors, estimator.embeddings_[nodes])
+        assert cosines.mean() > 0.9

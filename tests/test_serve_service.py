@@ -153,6 +153,24 @@ class TestInductiveWiring:
         result = service.query_vector(vectors[0], topk=1)
         assert result.neighbor_ids[0] == n
 
+    def test_preview_embed_new_leaves_serving_state_untouched(
+            self, service, small_graph):
+        """``add_to_index=False`` must not grow the frozen graph either —
+        otherwise a later indexed arrival gets a graph id that is ahead of
+        its index id and every query maps to the wrong node."""
+        n = small_graph.num_nodes
+        preview = service.embed_new(small_graph.attributes[0], [[n, 0]],
+                                    num_walks=4, add_to_index=False)
+        assert preview.shape == (1, 16)
+        assert service.index.num_vectors == n
+        assert service.inductive.graph.num_nodes == n
+        vectors = service.embed_new(small_graph.attributes[1], [[n, 2]],
+                                    num_walks=4)
+        assert service.inductive.graph.num_nodes == n + 1
+        assert service.index.num_vectors == n + 1
+        result = service.query_vector(vectors[0], topk=1)
+        assert result.neighbor_ids[0] == n  # ids still aligned
+
     def test_post_training_nodes_rejected_by_scorers_with_clear_error(
             self, service, small_graph):
         n = small_graph.num_nodes

@@ -379,6 +379,36 @@ class TestOnehopContextsVectorized:
         window = cs.contexts_of(2)[0]
         np.testing.assert_array_equal(window, [PAD, 2, PAD])
 
+    def test_default_args_keep_training_stream(self):
+        """``nodes``/``repeats`` must not perturb the training path: the
+        defaults consume the RNG exactly like the whole-graph form, which the
+        stochastic-marginal benchmark figures depend on."""
+        graph = _random_graph(30, seed=14)
+        explicit = _onehop_contexts(graph, 5, np.random.default_rng(7),
+                                    nodes=None, repeats=1)
+        subset_all = _onehop_contexts(graph, 5, np.random.default_rng(7),
+                                      nodes=np.arange(graph.num_nodes))
+        np.testing.assert_array_equal(explicit.windows, subset_all.windows)
+        np.testing.assert_array_equal(explicit.midst, subset_all.midst)
+
+    def test_node_subset_generates_only_requested_windows(self):
+        graph = _random_graph(30, seed=14)
+        nodes = np.array([3, 11, 27])
+        cs = _onehop_contexts(graph, 5, np.random.default_rng(0), nodes=nodes)
+        assert set(np.unique(cs.midst)) == set(nodes.tolist())
+        degrees = np.diff(graph.adjacency.indptr)
+        expected = np.maximum(1, -(-degrees[nodes] // 4))
+        np.testing.assert_array_equal(cs.counts()[nodes], expected)
+
+    def test_repeats_multiply_windows(self):
+        graph = _random_graph(20, seed=3)
+        nodes = np.array([1, 5])
+        once = _onehop_contexts(graph, 5, np.random.default_rng(0), nodes=nodes)
+        thrice = _onehop_contexts(graph, 5, np.random.default_rng(0),
+                                  nodes=nodes, repeats=3)
+        np.testing.assert_array_equal(thrice.counts()[nodes],
+                                      3 * once.counts()[nodes])
+
 
 class TestAliasTable:
     def test_empirical_distribution(self):

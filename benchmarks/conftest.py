@@ -77,12 +77,16 @@ def run_context() -> str:
         commit = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=root, capture_output=True, text=True, check=True).stdout.strip()
-        # Only tracked, non-artifact modifications count as dirty: the
+        # Best-effort dirty detection over tracked files only: the
         # benchmark/perf runs rewrite results/ and BENCH_*.json themselves,
-        # which must not make a pristine regeneration look hand-edited.
+        # and docs (*.md, e.g. a pending changelog entry) cannot affect a
+        # run — neither must make a pristine regeneration look hand-edited.
+        # Untracked code (-uno) is invisible here; the stamp is provenance
+        # evidence, not a tamper-proof seal.
         dirty = subprocess.run(
             ["git", "status", "--porcelain", "-uno", "--",
-             ".", ":(exclude)benchmarks/results", ":(exclude)BENCH_*.json"],
+             ".", ":(exclude)benchmarks/results", ":(exclude)BENCH_*.json",
+             ":(exclude)*.md"],
             cwd=root, capture_output=True, text=True, check=True).stdout.strip()
         if dirty:
             commit += "-dirty"

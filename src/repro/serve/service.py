@@ -287,14 +287,23 @@ class EmbeddingService:
         Returns the new ``(m, d')`` vectors; with ``add_to_index`` they are
         appended to the index (ids continue from the current size) and the
         stale-neighbor cache entries are dropped.  Without it the call is a
-        stateless preview: neither the index nor the frozen graph grows, so
-        index ids and graph node ids can never drift apart.
+        preview: neither the index nor the frozen graph grows, so index ids
+        and graph node ids can never drift apart (only the shared sampling
+        RNG advances).
         """
-        vectors = self.inductive.embed_new(new_attributes, new_edges,
-                                           num_walks=num_walks,
-                                           persist=add_to_index)
+        inductive = self.inductive
+        previous_graph = inductive.graph
+        vectors = inductive.embed_new(new_attributes, new_edges,
+                                      num_walks=num_walks,
+                                      persist=add_to_index)
         if add_to_index:
-            self.index.add(vectors)
+            try:
+                self.index.add(vectors)
+            except BaseException:
+                # The graph grew but the index did not; roll the graph back
+                # so the ids stay aligned for the caller's retry.
+                inductive.graph = previous_graph
+                raise
             self._cache.clear()
         return vectors
 

@@ -171,6 +171,20 @@ class TestInductiveWiring:
         result = service.query_vector(vectors[0], topk=1)
         assert result.neighbor_ids[0] == n  # ids still aligned
 
+    def test_failed_index_add_rolls_back_the_graph(self, service, small_graph,
+                                                   monkeypatch):
+        n = small_graph.num_nodes
+        monkeypatch.setattr(service.index, "add",
+                            lambda *a, **k: (_ for _ in ()).throw(MemoryError()))
+        with pytest.raises(MemoryError):
+            service.embed_new(small_graph.attributes[0], [[n, 0]], num_walks=4)
+        assert service.inductive.graph.num_nodes == n
+        monkeypatch.undo()
+        vectors = service.embed_new(small_graph.attributes[1], [[n, 1]],
+                                    num_walks=4)
+        assert service.index.num_vectors == n + 1
+        assert service.query_vector(vectors[0], topk=1).neighbor_ids[0] == n
+
     def test_post_training_nodes_rejected_by_scorers_with_clear_error(
             self, service, small_graph):
         n = small_graph.num_nodes

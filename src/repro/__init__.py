@@ -19,6 +19,9 @@ Subpackages
 ``repro.serve``
     Serving layer: checkpoints, exact top-k index, online scorers,
     inductive inference, and the query service front door.
+``repro.scale``
+    Training scale-out: sharded corpus generation across processes,
+    shard stores with disk spill, and streaming corpus sources.
 """
 
 from repro.core import CoANE, CoANEConfig

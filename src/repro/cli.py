@@ -7,8 +7,10 @@ Examples::
     python -m repro --dataset webkb-cornell --method vgae --task classification
     python -m repro --dataset citeseer --method coane --task linkpred --scale 0.5
     python -m repro --linqs-dir /data/cora --linqs-name cora --method coane
+    python -m repro train --dataset pubmed --workers 4 --stream --dtype float32
     python -m repro bench --dataset pubmed --scale 1.0
     python -m repro bench --stage serve --dataset pubmed --scale 0.5
+    python -m repro bench --stage scale --dataset pubmed --workers 1,2,4
     python -m repro export --dataset pubmed --output pubmed.ckpt.npz
     python -m repro query --checkpoint pubmed.ckpt.npz --node 7 --topk 10
 """
@@ -67,13 +69,45 @@ def load_graph(args):
     return load_dataset(args.dataset, seed=args.seed, scale=args.scale)
 
 
+def report_task(task: str, graph, seed: int, title: str, embeddings=None,
+                refit=None) -> None:
+    """Evaluate one task and print its table (shared by the default command
+    and ``repro train``).
+
+    ``embeddings`` serves the transductive tasks; ``refit`` is a
+    ``graph -> embeddings`` callable used by link prediction, which must
+    train on the edge-split training graph rather than the full one.
+    """
+    if task == "linkpred":
+        split = split_edges(graph, seed=seed)
+        scores = link_prediction_auc(refit(split.train_graph), split,
+                                     phases=("val", "test"))
+        print(format_table(["phase", "AUC"], sorted(scores.items()),
+                           title=f"{title} link prediction"))
+        return
+    if graph.labels is None:
+        raise SystemExit("this graph has no labels; only linkpred is available")
+    if task == "classification":
+        results = evaluate_classification(embeddings, graph.labels, seed=seed)
+        rows = [[f"{int(ratio * 100)}%", scores["macro"], scores["micro"]]
+                for ratio, scores in sorted(results.items())]
+        print(format_table(["train ratio", "Macro-F1", "Micro-F1"], rows,
+                           title=f"{title} node classification"))
+    else:
+        nmi = evaluate_clustering(embeddings, graph.labels, seed=seed)
+        print(format_table(["metric", "value"], [["NMI", nmi]],
+                           title=f"{title} node clustering"))
+
+
 def build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro bench",
-        description="Time the training pipeline stages (--stage pipeline) or "
-                    "the serving path (--stage serve); write a JSON perf report.",
+        description="Time the training pipeline stages (--stage pipeline), "
+                    "the serving path (--stage serve), or the scale-out axes "
+                    "(--stage scale); write a JSON perf report.",
     )
-    parser.add_argument("--stage", default="pipeline", choices=["pipeline", "serve"],
+    parser.add_argument("--stage", default="pipeline",
+                        choices=["pipeline", "serve", "scale"],
                         help="which tier to benchmark (default pipeline)")
     parser.add_argument("--dataset", default="pubmed", choices=dataset_names(),
                         help="synthetic analog to benchmark on (default pubmed)")
@@ -84,15 +118,66 @@ def build_bench_parser() -> argparse.ArgumentParser:
                         help="training epochs per timing fit (default 3)")
     parser.add_argument("--batch-size", type=int, default=256,
                         help="pipeline: mini-batch stage batch size (0 skips it); "
-                             "serve: batched-query size")
+                             "serve: batched-query size; scale: streaming batch")
     parser.add_argument("--topk", type=int, default=10,
                         help="serve stage: neighbors per query (default 10)")
+    parser.add_argument("--workers", default="1,2,4",
+                        help="scale stage: comma-separated worker counts to "
+                             "time shard generation at (default 1,2,4)")
+    parser.add_argument("--dtype", default="float32",
+                        choices=["float32", "float64"],
+                        help="scale stage: reduced-precision dtype to compare "
+                             "against float64 (default float32)")
     parser.add_argument("--no-micro", action="store_true",
                         help="skip the vectorised-vs-reference microbenchmarks")
     parser.add_argument("--output", default=None,
                         help="report path (default BENCH_pipeline.json / "
-                             "BENCH_serve.json by stage)")
+                             "BENCH_serve.json / BENCH_scale.json by stage)")
     return parser
+
+
+def run_scale_bench_cli(args) -> int:
+    from repro.perf import run_scale_bench, write_report
+
+    try:
+        workers_list = [int(w) for w in str(args.workers).split(",") if w.strip()]
+    except ValueError:
+        raise SystemExit(f"--workers must be comma-separated ints, got {args.workers!r}")
+    if not workers_list:
+        raise SystemExit("--workers must name at least one worker count")
+    if any(workers < 1 for workers in workers_list):
+        raise SystemExit("--workers counts must all be >= 1")
+    report = run_scale_bench(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        epochs=args.epochs, batch_size=args.batch_size or 256,
+        workers_list=workers_list, dtype=args.dtype,
+    )
+    rows = [[f"shard generation x{workers}", round(entry["seconds"], 4),
+             f"{entry['speedup_vs_1']:.2f}x vs 1" if entry["speedup_vs_1"] else "-"]
+            for workers, entry in report["generation"].items()]
+    streaming = report["streaming"]
+    for label, key in (("in-memory epoch", "in_memory_epoch_seconds"),
+                       ("streaming epoch", "streaming_epoch_seconds")):
+        seconds = streaming[key]
+        rows.append([label, round(seconds, 4) if seconds else "-", "-"])
+    rows.append(["streaming losses == in-memory", "-",
+                 "yes" if streaming["losses_equal"] else "NO"])
+    dtype = report["dtype"]
+    reduced = dtype["reduced_dtype"]
+    for label, key in (("float64 epoch", "float64_epoch_seconds"),
+                       (f"{reduced} epoch", "reduced_epoch_seconds")):
+        seconds = dtype[key]
+        rows.append([label, round(seconds, 4) if seconds else "-", "-"])
+    rows.append([f"{reduced} speedup", "-",
+                 f"{dtype['speedup']:.2f}x" if dtype["speedup"] else "-"])
+    rows.append([f"{reduced} cosine drift", "-",
+                 f"{dtype['cosine_drift']:.6f}"])
+    print(format_table(["axis", "seconds", "ratio"], rows,
+                       title=f"scale bench ({report['dataset']}, "
+                             f"scale {report['scale']})"))
+    path = write_report(report, args.output or "BENCH_scale.json")
+    print(f"[report written to {path}]")
+    return 0
 
 
 def run_serve_bench_cli(args) -> int:
@@ -130,6 +215,8 @@ def run_bench(argv) -> int:
     args = build_bench_parser().parse_args(argv)
     if args.stage == "serve":
         return run_serve_bench_cli(args)
+    if args.stage == "scale":
+        return run_scale_bench_cli(args)
     report = run_pipeline_bench(
         dataset=args.dataset, scale=args.scale, seed=args.seed,
         epochs=args.epochs, batch_size=args.batch_size, micro=not args.no_micro,
@@ -150,6 +237,110 @@ def run_bench(argv) -> int:
                            rows, title="vectorised vs reference"))
     path = write_report(report, args.output or "BENCH_pipeline.json")
     print(f"[report written to {path}]")
+    return 0
+
+
+def build_train_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro train",
+        description="Train CoANE with the scale-out knobs (sharded corpus "
+                    "generation, streaming mini-batches, float32 compute) "
+                    "and optionally evaluate or export the result.",
+    )
+    source = parser.add_argument_group("data source")
+    source.add_argument("--dataset", choices=dataset_names(),
+                        help="synthetic analog of a paper dataset")
+    source.add_argument("--scale", type=float, default=1.0,
+                        help="node-count multiplier for the analog (default 1.0)")
+    source.add_argument("--linqs-dir", help="directory with <name>.content/<name>.cites")
+    source.add_argument("--linqs-name", help="basename of the LINQS files")
+    parser.add_argument("--dim", type=int, default=128, help="embedding dimension")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epochs", type=int, default=30,
+                        help="training epochs (default 30)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="mini-batch size (default: full batch, or 256 "
+                             "when --stream is set)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="corpus-generation worker processes; the corpus "
+                             "is a pure function of (seed, workers)")
+    parser.add_argument("--stream", action="store_true",
+                        help="train from shards batch-by-batch; the full "
+                             "attribute-context matrix is never materialized")
+    parser.add_argument("--spill-dir", default=None,
+                        help="spill context shards to this directory "
+                             "(memory-mapped; for larger-than-memory corpora)")
+    parser.add_argument("--dtype", default="float64",
+                        choices=["float64", "float32"],
+                        help="compute precision of the fit (default float64)")
+    parser.add_argument("--task", default="none",
+                        choices=["none", "classification", "clustering", "linkpred"],
+                        help="evaluate the embeddings after training (default none)")
+    parser.add_argument("--output", default=None,
+                        help="write a serve checkpoint here after training")
+    return parser
+
+
+def run_train(argv) -> int:
+    import time
+
+    from repro.core import CoANE, CoANEConfig
+
+    args = build_train_parser().parse_args(argv)
+    graph = load_graph(args)
+    print(f"Loaded {graph}")
+    batch_size = args.batch_size
+    if batch_size is None and args.stream:
+        batch_size = 256
+    config = CoANEConfig(
+        embedding_dim=args.dim, epochs=args.epochs, seed=args.seed,
+        batch_size=batch_size, num_workers=args.workers, stream=args.stream,
+        spill_dir=args.spill_dir, dtype=args.dtype,
+    )
+    estimator = CoANE(config)
+    start = time.perf_counter()
+    embeddings = estimator.fit_transform(graph)
+    seconds = time.perf_counter() - start
+    corpus = estimator.corpus_
+    rows = [
+        ["nodes x dims", f"{embeddings.shape[0]} x {embeddings.shape[1]}"],
+        ["compute dtype", str(embeddings.dtype)],
+        ["contexts", corpus.num_contexts],
+        ["corpus mode", ("streaming" if config.stream else "materialized")
+                        + f", workers={config.num_workers}"],
+        ["first epoch loss", f"{estimator.history_[0]['loss']:.6f}"],
+        ["final epoch loss", f"{estimator.history_[-1]['loss']:.6f}"],
+        ["fit seconds", f"{seconds:.2f}"],
+    ]
+    if getattr(corpus, "max_rows_materialized", None) is not None:
+        rows.insert(3, ["peak context rows in memory",
+                        corpus.max_rows_materialized])
+    print(format_table(["field", "value"], rows,
+                       title=f"repro train ({graph.name})"))
+    if args.output:
+        from repro.serve import Checkpoint
+
+        checkpoint = Checkpoint.from_estimator(estimator, graph)
+        path = checkpoint.save(args.output)
+        print(f"[checkpoint written to {path}]")
+    fitted = [estimator]
+
+    def refit(train_graph):
+        refit_estimator = CoANE(config).fit(train_graph)
+        fitted.append(refit_estimator)
+        return refit_estimator.transform()
+
+    try:
+        if args.task != "none":
+            report_task(args.task, graph, seed=args.seed, title="coane",
+                        embeddings=embeddings, refit=refit)
+    finally:
+        # Spilled shard directories belong to this invocation; drop them so
+        # repeated runs against one --spill-dir cannot fill the disk.
+        for fitted_estimator in fitted:
+            store = getattr(fitted_estimator.corpus_, "store", None)
+            if store is not None:
+                store.cleanup()
     return 0
 
 
@@ -233,7 +424,8 @@ def run_query(argv) -> int:
     return 0
 
 
-_SUBCOMMANDS = {"bench": run_bench, "export": run_export, "query": run_query}
+_SUBCOMMANDS = {"train": run_train, "bench": run_bench, "export": run_export,
+                "query": run_query}
 
 
 def run(argv=None) -> int:
@@ -250,26 +442,13 @@ def run(argv=None) -> int:
                            seed=args.seed, budget=args.budget)
 
     if args.task == "linkpred":
-        split = split_edges(graph, seed=args.seed)
-        embeddings = make().fit_transform(split.train_graph)
-        scores = link_prediction_auc(embeddings, split, phases=("val", "test"))
-        print(format_table(["phase", "AUC"], sorted(scores.items()),
-                           title=f"{args.method} link prediction"))
+        report_task("linkpred", graph, seed=args.seed, title=args.method,
+                    refit=lambda train_graph: make().fit_transform(train_graph))
         return 0
 
     embeddings = make().fit_transform(graph)
-    if graph.labels is None:
-        raise SystemExit("this graph has no labels; only linkpred is available")
-    if args.task == "classification":
-        results = evaluate_classification(embeddings, graph.labels, seed=args.seed)
-        rows = [[f"{int(ratio*100)}%", scores["macro"], scores["micro"]]
-                for ratio, scores in sorted(results.items())]
-        print(format_table(["train ratio", "Macro-F1", "Micro-F1"], rows,
-                           title=f"{args.method} node classification"))
-    else:
-        nmi = evaluate_clustering(embeddings, graph.labels, seed=args.seed)
-        print(format_table(["metric", "value"], [["NMI", nmi]],
-                           title=f"{args.method} node clustering"))
+    report_task(args.task, graph, seed=args.seed, title=args.method,
+                embeddings=embeddings)
     return 0
 
 

@@ -51,6 +51,22 @@ class CoANEConfig:
     learning_rate: float = 0.01
     batch_size: int | None = None    # None = full batch
 
+    # --- scale-out (repro.scale) ---
+    # num_workers shards walk/context generation across processes; the corpus
+    # is bit-identical to the classic path at 1 and a pure function of
+    # (seed, num_workers) above it.  stream trains from shards batch-by-batch
+    # without materializing contexts_flat (requires batch_size); spill_dir
+    # spills shards to disk for the larger-than-memory case.  dtype picks the
+    # compute precision of the whole fit ("float32" roughly halves memory and
+    # doubles dense-GEMM throughput; "float64" is bit-identical to history).
+    num_workers: int = 1
+    stream: bool = False
+    spill_dir: str | None = None
+    # Row budget for streaming whole-corpus passes (None = the
+    # repro.scale.DEFAULT_CHUNK_ROWS default).
+    stream_chunk_rows: int | None = None
+    dtype: str = "float64"
+
     # --- ablation switches (Fig. 6a / 6c) ---
     positive_mode: str = "coane"     # 'coane' | 'skipgram' | 'off'
     negative_mode: str = "contextual"  # 'contextual' | 'uniform' | 'off'
@@ -91,6 +107,22 @@ class CoANEConfig:
             raise ValueError("learning_rate must be positive")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be None or >= 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.stream_chunk_rows is not None and self.stream_chunk_rows < 1:
+            raise ValueError("stream_chunk_rows must be None or >= 1")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError("dtype must be 'float64' or 'float32'")
+        if self.stream and self.batch_size is None:
+            raise ValueError(
+                "stream=True feeds the trainer mini-batches from shards; "
+                "set batch_size"
+            )
+        if (self.stream or self.num_workers > 1) and self.context_source != "walk":
+            raise ValueError(
+                "sharded/streaming corpus generation requires "
+                "context_source='walk'"
+            )
         if self.positive_mode not in ("coane", "skipgram", "off"):
             raise ValueError("positive_mode must be 'coane', 'skipgram', or 'off'")
         if self.negative_mode not in ("contextual", "uniform", "off"):

@@ -8,6 +8,15 @@ decoder with Adam.  Full-batch updates are the default (every dataset analog
 fits comfortably in memory); ``batch_size`` enables the paper's batch
 updating, in which out-of-batch embeddings enter the loss as constants from
 the previous refresh.
+
+Scale-out (see :mod:`repro.scale`): the trainer consumes its corpus through a
+:class:`~repro.scale.CorpusSource`, so pre-processing can be sharded across
+worker processes (``num_workers``) and training can stream mini-batches from
+shards without materializing the full attribute-context matrix (``stream``).
+``dtype="float32"`` runs the whole fit at reduced precision via
+:func:`repro.nn.compute_dtype`.  The default configuration
+(``num_workers=1``, ``stream=False``, ``dtype="float64"``) is bit-identical
+to the historical single-process pipeline.
 """
 
 from __future__ import annotations
@@ -24,12 +33,18 @@ from repro.core.losses import (
 from repro.core.model import CoANEModel
 from repro.core.negative_sampling import ContextualNegativeSampler, UniformNegativeSampler
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.sparse import SegmentGroups as _SegmentGroups
 from repro.graph.sparse import expand_ranges
-from repro.nn import Adam, Tensor, no_grad
+from repro.nn import Adam, Tensor, compute_dtype
 from repro.nn.tensor import clear_selector_cache
+from repro.scale import (
+    MaterializedCorpus,
+    ShardStore,
+    StreamingCorpus,
+    generate_context_shards,
+)
 from repro.utils.rng import spawn_rngs
-from repro.walks.contexts import ContextSet, attribute_context_matrices, extract_contexts
-from repro.walks.cooccurrence import build_cooccurrence
+from repro.walks.contexts import ContextSet, extract_contexts
 from repro.walks.random_walk import RandomWalker
 
 
@@ -103,41 +118,6 @@ def _onehop_contexts(graph: AttributedGraph, context_size: int, rng,
     return ContextSet(windows, midsts, n)
 
 
-class _SegmentGroups:
-    """Rows grouped by segment id for O(|batch|) slicing in mini-batch mode.
-
-    Built once per fit, this replaces the per-batch ``np.isin(segment_ids,
-    batch)`` scan (O(num_rows · log|batch|) *per batch*, so O(num_rows ·
-    num_batches) per epoch) with an indptr lookup plus one range expansion.
-    When the ids arrive sorted (the :class:`ContextSet` invariant) no argsort
-    is needed and the produced row indices match the ``np.isin`` order
-    exactly.
-    """
-
-    def __init__(self, segment_ids: np.ndarray, num_segments: int):
-        segment_ids = np.asarray(segment_ids, dtype=np.int64)
-        if len(segment_ids) and not (np.diff(segment_ids) >= 0).all():
-            self._order = np.argsort(segment_ids, kind="stable")
-            sorted_ids = segment_ids[self._order]
-        else:
-            self._order = None
-            sorted_ids = segment_ids
-        self._indptr = np.searchsorted(sorted_ids, np.arange(num_segments + 1))
-
-    def rows_for(self, segments: np.ndarray) -> tuple:
-        """Row indices belonging to ``segments`` plus the per-segment counts.
-
-        With sorted ``segments`` the rows come back in ascending order —
-        identical to ``np.flatnonzero(np.isin(segment_ids, segments))``.
-        """
-        starts = self._indptr[segments]
-        lengths = self._indptr[segments + 1] - starts
-        rows = expand_ranges(starts, lengths)
-        if self._order is not None:
-            rows = self._order[rows]
-        return rows, lengths
-
-
 class CoANE:
     """Context Co-occurrence-aware Attributed Network Embedding.
 
@@ -161,11 +141,18 @@ class CoANE:
         self.history_ = []
         self.model_ = None
         self.context_set_ = None
+        self.corpus_ = None
         self.cooccurrence_ = None
 
     # ------------------------------------------------------------- pipeline
-    def fit(self, graph: AttributedGraph) -> "CoANE":
-        """Run pre-processing and training on ``graph``."""
+    def fit(self, graph: AttributedGraph, corpus=None) -> "CoANE":
+        """Run pre-processing and training on ``graph``.
+
+        ``corpus`` optionally supplies a pre-built
+        :class:`~repro.scale.CorpusSource` (materialized or streaming);
+        ``None`` builds one from the configuration — the classic in-process
+        pipeline unless ``num_workers`` / ``stream`` say otherwise.
+        """
         cfg = self.config
         # Selectors cached for the previous fit's index arrays can never hit
         # again once those arrays are rebuilt; drop them so they are not
@@ -174,62 +161,97 @@ class CoANE:
         walk_rng, context_rng, sampler_rng, init_rng, batch_rng = spawn_rngs(cfg.seed, 5)
         n = graph.num_nodes
 
-        attributes = self._input_attributes(graph)
+        with compute_dtype(cfg.dtype):
+            attributes = self._input_attributes(graph)
+            if corpus is None:
+                corpus = self._build_corpus(graph, attributes, walk_rng, context_rng)
+            cooccurrence = corpus.cooccurrence(graph)
 
-        if cfg.context_source == "walk":
+            model = CoANEModel(
+                num_attributes=attributes.shape[1],
+                embedding_dim=cfg.embedding_dim,
+                context_size=cfg.context_size,
+                decoder_hidden=cfg.decoder_hidden,
+                extractor=cfg.extractor,
+                seed=init_rng,
+            )
+            optimizer = Adam(model.parameters(), lr=cfg.learning_rate)
+            sampler = self._build_sampler(cooccurrence, corpus.counts(), graph,
+                                          sampler_rng)
+            pos_rows, pos_cols, pos_weights = self._positive_targets(cooccurrence)
+
+            self.model_ = model
+            self.corpus_ = corpus
+            self.context_set_ = getattr(corpus, "context_set", None)
+            self.cooccurrence_ = cooccurrence
+            self.history_ = []
+            self._negative_cache = None
+            self._negative_local_cache = None
+            self._num_nodes = n
+            # Grouping indices built once per fit; every mini-batch epoch
+            # slices them instead of rescanning all pairs with np.isin.
+            self._pair_groups = _SegmentGroups(pos_rows, n)
+
+            for epoch in range(cfg.epochs):
+                if cfg.batch_size is None:
+                    record = self._full_batch_step(
+                        model, optimizer, corpus, n, attributes,
+                        sampler, pos_rows, pos_cols, pos_weights,
+                    )
+                else:
+                    record = self._mini_batch_epoch(
+                        model, optimizer, corpus, n, attributes,
+                        sampler, pos_rows, pos_cols, pos_weights, batch_rng,
+                    )
+                record["epoch"] = epoch
+                self.history_.append(record)
+                for hook in cfg.history_hooks:
+                    hook(epoch, corpus.embed_all(model))
+
+            self.embeddings_ = corpus.embed_all(model)
+        return self
+
+    def _build_corpus(self, graph: AttributedGraph, attributes, walk_rng,
+                      context_rng):
+        """Build the corpus source the configuration asks for.
+
+        The default configuration replays the historical inline pipeline with
+        the same ``walk_rng``/``context_rng`` streams, so its corpus — and
+        therefore the whole fit — is bit-identical to previous releases.
+        """
+        cfg = self.config
+        n = graph.num_nodes
+        if cfg.context_source != "walk":
+            context_set = _onehop_contexts(graph, cfg.context_size, context_rng)
+            return MaterializedCorpus(context_set, attributes)
+        if cfg.num_workers == 1 and not cfg.stream and cfg.spill_dir is None:
             walker = RandomWalker(graph, seed=walk_rng)
             walks = walker.walk(cfg.walk_length, num_walks=cfg.num_walks)
             context_set = extract_contexts(
-                walks, cfg.context_size, n, subsample_t=cfg.subsample_t, seed=context_rng
+                walks, cfg.context_size, n, subsample_t=cfg.subsample_t,
+                seed=context_rng,
             )
-        else:
-            context_set = _onehop_contexts(graph, cfg.context_size, context_rng)
-        cooccurrence = build_cooccurrence(context_set, graph)
-        contexts_flat = attribute_context_matrices(context_set, attributes)
-
-        model = CoANEModel(
-            num_attributes=attributes.shape[1],
-            embedding_dim=cfg.embedding_dim,
-            context_size=cfg.context_size,
-            decoder_hidden=cfg.decoder_hidden,
-            extractor=cfg.extractor,
-            seed=init_rng,
+            return MaterializedCorpus(context_set, attributes)
+        store = ShardStore(spill_dir=cfg.spill_dir)
+        generate_context_shards(
+            graph, walk_length=cfg.walk_length, num_walks=cfg.num_walks,
+            context_size=cfg.context_size, subsample_t=cfg.subsample_t,
+            seed=cfg.seed, num_workers=cfg.num_workers,
+            walk_rng=walk_rng, context_rng=context_rng, store=store,
         )
-        optimizer = Adam(model.parameters(), lr=cfg.learning_rate)
-        sampler = self._build_sampler(cooccurrence, context_set, graph, sampler_rng)
-        pos_rows, pos_cols, pos_weights = self._positive_targets(cooccurrence)
-
-        self.model_ = model
-        self.context_set_ = context_set
-        self.cooccurrence_ = cooccurrence
-        self.history_ = []
-        self._negative_cache = None
-        self._negative_local_cache = None
-        self._num_nodes = n
-        segment_ids = context_set.midst
-        # Grouping indices built once per fit; every mini-batch epoch slices
-        # them instead of rescanning all contexts/pairs with np.isin.
-        self._context_groups = _SegmentGroups(segment_ids, n)
-        self._pair_groups = _SegmentGroups(pos_rows, n)
-
-        for epoch in range(cfg.epochs):
-            if cfg.batch_size is None:
-                record = self._full_batch_step(
-                    model, optimizer, contexts_flat, segment_ids, n, attributes,
-                    sampler, pos_rows, pos_cols, pos_weights,
-                )
-            else:
-                record = self._mini_batch_epoch(
-                    model, optimizer, contexts_flat, segment_ids, n, attributes,
-                    sampler, pos_rows, pos_cols, pos_weights, batch_rng,
-                )
-            record["epoch"] = epoch
-            self.history_.append(record)
-            for hook in cfg.history_hooks:
-                hook(epoch, self._current_embeddings(model, contexts_flat, segment_ids, n))
-
-        self.embeddings_ = self._current_embeddings(model, contexts_flat, segment_ids, n)
-        return self
+        if cfg.stream:
+            if cfg.stream_chunk_rows is not None:
+                return StreamingCorpus(store, n, attributes,
+                                       max_chunk_rows=cfg.stream_chunk_rows)
+            return StreamingCorpus(store, n, attributes)
+        blocks = [(np.asarray(block), midst)
+                  for _, block, midst in store.iter_shards()]
+        windows = np.vstack([block for block, _ in blocks])
+        midst = np.concatenate([m for _, m in blocks])
+        # The in-memory copy is complete; a spilled store's files would never
+        # be read again, so drop them now rather than leaking per fit.
+        store.cleanup()
+        return MaterializedCorpus(ContextSet(windows, midst, n), attributes)
 
     def transform(self) -> np.ndarray:
         """Return the learned ``(n, d')`` embedding matrix."""
@@ -247,8 +269,11 @@ class CoANE:
             return graph.attributes
         return np.eye(graph.num_nodes, dtype=np.float64)
 
-    def _build_sampler(self, cooccurrence, context_set, graph, rng):
+    def _build_sampler(self, cooccurrence, context_counts, graph, rng):
         cfg = self.config
+        if hasattr(context_counts, "counts"):
+            # A ContextSet / CorpusSource works too; only the counts matter.
+            context_counts = context_counts.counts()
         if cfg.negative_mode == "off" or cfg.num_negative == 0:
             return None
         if cfg.negative_mode == "uniform":
@@ -256,7 +281,7 @@ class CoANE:
                                           adjacency=graph.adjacency, seed=rng)
         mode = cfg.resolve_sampling(graph.density)
         return ContextualNegativeSampler(
-            cooccurrence.D, context_set.counts(), cfg.num_negative, mode=mode,
+            cooccurrence.D, context_counts, cfg.num_negative, mode=mode,
             pool_size=cfg.negative_pool_size, adjacency=graph.adjacency, seed=rng,
         )
 
@@ -282,9 +307,13 @@ class CoANE:
             self._negative_cache = sampler.sample(targets)
         return self._negative_cache
 
-    def _current_embeddings(self, model, contexts_flat, segment_ids, n) -> np.ndarray:
-        with no_grad():
-            return model.embed(contexts_flat, segment_ids, n).data.copy()
+    def refresh_embeddings(self) -> np.ndarray:
+        """Recompute ``embeddings_`` from the fitted model and corpus."""
+        if self.model_ is None or getattr(self, "corpus_", None) is None:
+            raise RuntimeError("call fit() before refresh_embeddings()")
+        with compute_dtype(self.config.dtype):
+            self.embeddings_ = self.corpus_.embed_all(self.model_)
+        return self.embeddings_
 
     def _loss_terms(self, model, embeddings, targets, attributes, sampler,
                     pos_rows, pos_cols, pos_weights, num_targets,
@@ -338,8 +367,9 @@ class CoANE:
             att = Tensor(np.zeros(()))
         return pos, neg, att
 
-    def _full_batch_step(self, model, optimizer, contexts_flat, segment_ids, n,
+    def _full_batch_step(self, model, optimizer, corpus, n,
                          attributes, sampler, pos_rows, pos_cols, pos_weights) -> dict:
+        contexts_flat, segment_ids = corpus.full()
         embeddings = model.embed(contexts_flat, segment_ids, n)
         targets = np.arange(n)
         pos, neg, att = self._loss_terms(
@@ -354,22 +384,20 @@ class CoANE:
         return {"loss": total.item(), "positive": pos.item(),
                 "negative": neg.item(), "attribute": att.item()}
 
-    def _mini_batch_epoch(self, model, optimizer, contexts_flat, segment_ids, n,
+    def _mini_batch_epoch(self, model, optimizer, corpus, n,
                           attributes, sampler, pos_rows, pos_cols, pos_weights,
                           rng) -> dict:
         cfg = self.config
-        cached = self._current_embeddings(model, contexts_flat, segment_ids, n)
+        cached = corpus.embed_all(model)
         permutation = rng.permutation(n)
         totals = {"loss": 0.0, "positive": 0.0, "negative": 0.0, "attribute": 0.0}
         num_batches = 0
         half = cfg.embedding_dim // 2
         for start in range(0, n, cfg.batch_size):
             batch = np.sort(permutation[start:start + cfg.batch_size])
-            context_rows, context_counts = self._context_groups.rows_for(batch)
-            if len(context_rows) == 0:
+            batch_contexts, local_segments = corpus.batch(batch)
+            if len(local_segments) == 0:
                 continue
-            batch_contexts = contexts_flat[context_rows]
-            local_segments = np.repeat(np.arange(len(batch)), context_counts)
             embeddings = model.embed(batch_contexts, local_segments, len(batch))
 
             pair_rows, pair_counts = self._pair_groups.rows_for(batch)

@@ -52,6 +52,41 @@ def expand_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return np.repeat(starts - offsets, lengths) + np.arange(total)
 
 
+class SegmentGroups:
+    """Rows grouped by segment id for O(|batch|) slicing in mini-batch mode.
+
+    Built once per fit, this replaces the per-batch ``np.isin(segment_ids,
+    batch)`` scan (O(num_rows · log|batch|) *per batch*, so O(num_rows ·
+    num_batches) per epoch) with an indptr lookup plus one range expansion.
+    When the ids arrive sorted (the :class:`~repro.walks.contexts.ContextSet`
+    invariant) no argsort is needed and the produced row indices match the
+    ``np.isin`` order exactly.
+    """
+
+    def __init__(self, segment_ids: np.ndarray, num_segments: int):
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        if len(segment_ids) and not (np.diff(segment_ids) >= 0).all():
+            self._order = np.argsort(segment_ids, kind="stable")
+            sorted_ids = segment_ids[self._order]
+        else:
+            self._order = None
+            sorted_ids = segment_ids
+        self._indptr = np.searchsorted(sorted_ids, np.arange(num_segments + 1))
+
+    def rows_for(self, segments: np.ndarray) -> tuple:
+        """Row indices belonging to ``segments`` plus the per-segment counts.
+
+        With sorted ``segments`` the rows come back in ascending order —
+        identical to ``np.flatnonzero(np.isin(segment_ids, segments))``.
+        """
+        starts = self._indptr[segments]
+        lengths = self._indptr[segments + 1] - starts
+        rows = expand_ranges(starts, lengths)
+        if self._order is not None:
+            rows = self._order[rows]
+        return rows, lengths
+
+
 class SortedRowMembership:
     """Vectorised ``(row, col) in matrix`` tests against a CSR pattern.
 

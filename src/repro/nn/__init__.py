@@ -16,7 +16,16 @@ All gradients are verified against central finite differences in
 ``tests/test_nn_gradcheck.py``.
 """
 
-from repro.nn.tensor import Tensor, concat, no_grad, segment_mean, sparse_matmul, stack
+from repro.nn.tensor import (
+    Tensor,
+    compute_dtype,
+    concat,
+    get_default_dtype,
+    no_grad,
+    segment_mean,
+    sparse_matmul,
+    stack,
+)
 from repro.nn.init import xavier_normal, xavier_uniform
 from repro.nn.layers import MLP, ContextConv1d, GCNConv, Linear, Module, Parameter, Sequential
 from repro.nn.optim import SGD, Adam, Optimizer
@@ -29,6 +38,8 @@ __all__ = [
     "segment_mean",
     "sparse_matmul",
     "no_grad",
+    "compute_dtype",
+    "get_default_dtype",
     "xavier_uniform",
     "xavier_normal",
     "Module",

@@ -7,7 +7,10 @@ times every pipeline stage (walks → contexts → co-occurrence → sampler bui
 ``BENCH_pipeline.json`` so the perf trajectory is tracked across PRs.
 ``repro bench --stage serve`` drives :func:`run_serve_bench`, which measures
 the serving surface (checkpoint round-trip, index build, query latency and
-throughput) into ``BENCH_serve.json``.
+throughput) into ``BENCH_serve.json``.  ``repro bench --stage scale`` drives
+:func:`run_scale_bench`, which measures the scale-out axes (shard-generation
+speedup vs workers, streaming vs in-memory epochs, float32 vs float64) into
+``BENCH_scale.json``.
 """
 
 from repro.perf.bench import (
@@ -15,7 +18,8 @@ from repro.perf.bench import (
     run_pipeline_bench,
     write_report,
 )
+from repro.perf.scale_bench import run_scale_bench
 from repro.perf.serve_bench import run_serve_bench
 
 __all__ = ["run_pipeline_bench", "run_microbenchmarks", "run_serve_bench",
-           "write_report"]
+           "run_scale_bench", "write_report"]

@@ -1,0 +1,136 @@
+"""Scale-out benchmark: worker scaling, streaming overhead, dtype speedup.
+
+``repro bench --stage scale`` measures the three axes the
+:mod:`repro.scale` subsystem adds and writes them to ``BENCH_scale.json``:
+
+* **shard generation vs workers** — wall time of the sharded walk/context
+  generation at each worker count (processes), with speedup relative to the
+  single-worker path,
+* **streaming vs in-memory** — mean mini-batch epoch time training from a
+  :class:`~repro.scale.StreamingCorpus` versus the fully materialized
+  matrix, plus a loss-trajectory equality check (they must match exactly in
+  float64),
+* **float32 vs float64** — mean epoch time in each compute dtype and the
+  cosine drift of the final embeddings (how far reduced precision moves the
+  learned vectors).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import CoANE, CoANEConfig
+from repro.perf.bench import _bench_config, _load_graph
+from repro.scale import ShardStore, generate_context_shards
+
+
+def _generation_seconds(graph, cfg: CoANEConfig, num_workers: int,
+                        seed: int) -> tuple:
+    start = time.perf_counter()
+    store = generate_context_shards(
+        graph, walk_length=cfg.walk_length, num_walks=cfg.num_walks,
+        context_size=cfg.context_size, subsample_t=cfg.subsample_t,
+        seed=seed, num_workers=num_workers, store=ShardStore(),
+        parallel=num_workers > 1,
+    )
+    return time.perf_counter() - start, store.num_contexts
+
+
+def _fit_losses(graph, cfg: CoANEConfig) -> tuple:
+    """Fit once; return (mean epoch seconds, per-epoch losses, embeddings)."""
+    seconds = None
+    marks = []
+    cfg.history_hooks.append(lambda epoch, Z: marks.append(time.perf_counter()))
+    estimator = CoANE(cfg).fit(graph)
+    if len(marks) >= 2:
+        seconds = float(np.diff(marks).mean())
+    losses = [record["loss"] for record in estimator.history_]
+    return seconds, losses, estimator.embeddings_
+
+
+def _cosine_drift(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean cosine similarity between matching rows (1.0 = no drift)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    norms = np.linalg.norm(a, axis=1) * np.linalg.norm(b, axis=1)
+    valid = norms > 0
+    if not valid.any():
+        return 1.0
+    return float(((a[valid] * b[valid]).sum(axis=1) / norms[valid]).mean())
+
+
+def run_scale_bench(dataset: str = "pubmed", scale: float = 1.0, seed: int = 0,
+                    epochs: int = 3, batch_size: int = 256,
+                    workers_list=(1, 2, 4), dtype: str = "float32",
+                    graph=None) -> dict:
+    """Measure the scale-out axes on one dataset analog; return the report."""
+    if graph is None:
+        graph = _load_graph(dataset, scale, seed)
+    base = _bench_config(seed, epochs)
+
+    # --- sharded generation scaling -----------------------------------------
+    # Speedups are always reported against a real workers=1 measurement, so a
+    # custom --workers list that omits 1 cannot silently shift the baseline.
+    workers_list = [int(workers) for workers in workers_list]
+    baseline_seconds, baseline_contexts = _generation_seconds(graph, base, 1, seed)
+    generation = {}
+    for workers in workers_list:
+        if workers == 1:
+            seconds, contexts = baseline_seconds, baseline_contexts
+        else:
+            seconds, contexts = _generation_seconds(graph, base, workers, seed)
+        generation[str(workers)] = {
+            "seconds": seconds,
+            "contexts": contexts,
+            "speedup_vs_1": (baseline_seconds / seconds) if seconds > 0 else None,
+        }
+
+    # --- streaming vs in-memory epochs --------------------------------------
+    memory_seconds, memory_losses, _ = _fit_losses(
+        graph, _bench_config(seed, epochs, batch_size=batch_size))
+    stream_seconds, stream_losses, _ = _fit_losses(
+        graph, _bench_config(seed, epochs, batch_size=batch_size, stream=True))
+    streaming = {
+        "batch_size": batch_size,
+        "in_memory_epoch_seconds": memory_seconds,
+        "streaming_epoch_seconds": stream_seconds,
+        "overhead_ratio": (stream_seconds / memory_seconds
+                           if memory_seconds and stream_seconds else None),
+        "losses_equal": bool(np.array_equal(np.asarray(memory_losses),
+                                            np.asarray(stream_losses))),
+    }
+
+    # --- reduced precision vs float64 ---------------------------------------
+    f64_seconds, _, f64_embeddings = _fit_losses(graph, _bench_config(seed, epochs))
+    low_seconds, _, low_embeddings = _fit_losses(
+        graph, _bench_config(seed, epochs, dtype=dtype))
+    dtype_report = {
+        "reduced_dtype": dtype,
+        "float64_epoch_seconds": f64_seconds,
+        "reduced_epoch_seconds": low_seconds,
+        "speedup": (f64_seconds / low_seconds
+                    if f64_seconds and low_seconds else None),
+        "cosine_drift": _cosine_drift(f64_embeddings, low_embeddings),
+    }
+
+    return {
+        "benchmark": "scale",
+        "dataset": graph.name,
+        "scale": scale,
+        "seed": seed,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "config": {
+            "walk_length": base.walk_length,
+            "num_walks": base.num_walks,
+            "context_size": base.context_size,
+            "epochs": epochs,
+            "batch_size": batch_size,
+            "workers_list": [int(w) for w in workers_list],
+        },
+        "generation": generation,
+        "streaming": streaming,
+        "dtype": dtype_report,
+    }

@@ -1,0 +1,45 @@
+"""Training scale-out: sharded corpus generation and streaming mini-batches.
+
+``repro.scale`` is the layer between corpus generation and training that lets
+one ``CoANE.fit`` outgrow a single process and a single allocation:
+
+* :func:`generate_context_shards` — partition start nodes across
+  ``multiprocessing`` workers, each with an independent ``SeedSequence``
+  stream; bit-identical to the classic path at ``num_workers=1`` and a pure
+  function of ``(seed, num_workers)`` above it,
+* :class:`ShardStore` — walk/context shards in memory or spilled to disk as
+  memory-mapped ``.npy`` blocks,
+* :class:`MaterializedCorpus` / :class:`StreamingCorpus` — the corpus-source
+  interface the trainer consumes; the streaming form feeds mini-batches and
+  chunked whole-corpus passes without ever materializing the
+  ``(num_contexts, c*d)`` matrix, and accumulates co-occurrence counts shard
+  by shard for the larger-than-memory case.
+
+The float32 compute mode (``CoANEConfig(dtype="float32")``) lives in
+:mod:`repro.nn.tensor` (:func:`repro.nn.compute_dtype`) and composes with
+both corpus forms; ``repro bench --stage scale`` measures all three axes.
+"""
+
+from repro.scale.sharding import (
+    generate_context_shards,
+    plan_shards,
+    shard_seed_sequences,
+)
+from repro.scale.store import ShardStore
+from repro.scale.streaming import (
+    DEFAULT_CHUNK_ROWS,
+    CorpusSource,
+    MaterializedCorpus,
+    StreamingCorpus,
+)
+
+__all__ = [
+    "generate_context_shards",
+    "plan_shards",
+    "shard_seed_sequences",
+    "ShardStore",
+    "CorpusSource",
+    "MaterializedCorpus",
+    "StreamingCorpus",
+    "DEFAULT_CHUNK_ROWS",
+]

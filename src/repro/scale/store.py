@@ -1,0 +1,136 @@
+"""Shard storage for context corpora.
+
+A *shard* is one block of extracted context windows (plus their midst ids),
+produced by one worker of the sharded generation pipeline.  The store keeps
+shards either in memory or spilled to disk as ``.npy`` files — the spilled
+form is what makes the larger-than-memory training path possible: window
+blocks are memory-mapped and only the rows a mini-batch (or streaming chunk)
+actually touches are ever paged in.
+
+Midst ids always stay in memory: they cost one ``int64`` per context and are
+the index every batched gather needs, while the window matrix costs ``c``
+ints per context and the attribute-context expansion multiplies that by the
+attribute dimension — those are the parts worth keeping out of core.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+
+class ShardStore:
+    """Ordered collection of context shards, in memory or spilled to disk.
+
+    Parameters
+    ----------
+    spill_dir:
+        Directory for on-disk shards; created if missing.  ``None`` keeps
+        every shard's window matrix in memory.  Each store spills into its
+        own fresh subdirectory, so two stores (or two runs) pointed at the
+        same ``spill_dir`` can never overwrite each other's shard files; the
+        subdirectories are left behind for the caller to clean up.
+    """
+
+    def __init__(self, spill_dir: str = None):
+        self.spill_dir = spill_dir
+        self._dir = None
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+            self._dir = tempfile.mkdtemp(prefix="shards-", dir=spill_dir)
+        self._windows = []   # per shard: ndarray (in memory) or str (npy path)
+        self._midsts = []    # per shard: ndarray, always in memory
+        self._mmaps = {}     # shard id -> open memmap, opened lazily
+        self._context_size = None
+
+    # ------------------------------------------------------------ properties
+    @property
+    def spilled(self) -> bool:
+        return self.spill_dir is not None
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._midsts)
+
+    @property
+    def num_contexts(self) -> int:
+        return int(sum(len(midst) for midst in self._midsts))
+
+    @property
+    def context_size(self) -> int:
+        if self._context_size is None:
+            raise ValueError("empty store has no context size yet")
+        return self._context_size
+
+    def shard_sizes(self) -> np.ndarray:
+        return np.array([len(midst) for midst in self._midsts], dtype=np.int64)
+
+    def midst(self, shard: int) -> np.ndarray:
+        """The midst ids of one shard (always in memory)."""
+        return self._midsts[shard]
+
+    # -------------------------------------------------------------- mutation
+    def append(self, windows: np.ndarray, midst: np.ndarray) -> int:
+        """Add one shard; returns its id.  Spills the window matrix when the
+        store was created with a ``spill_dir``."""
+        windows = np.ascontiguousarray(windows, dtype=np.int64)
+        midst = np.ascontiguousarray(midst, dtype=np.int64)
+        if windows.ndim != 2 or len(windows) != len(midst):
+            raise ValueError("windows must be (rows, c) with one midst per row")
+        if self._context_size is None:
+            self._context_size = int(windows.shape[1])
+        elif windows.shape[1] != self._context_size:
+            raise ValueError(
+                f"shard context size {windows.shape[1]} != store context size "
+                f"{self._context_size}"
+            )
+        shard = len(self._midsts)
+        if self.spilled:
+            path = os.path.join(self._dir, f"shard_{shard:05d}_windows.npy")
+            np.save(path, windows)
+            self._windows.append(path)
+        else:
+            self._windows.append(windows)
+        self._midsts.append(midst)
+        return shard
+
+    # --------------------------------------------------------------- reading
+    def windows(self, shard: int) -> np.ndarray:
+        """The full window matrix of one shard (a memmap when spilled)."""
+        block = self._windows[shard]
+        if isinstance(block, str):
+            mmap = self._mmaps.get(shard)
+            if mmap is None:
+                mmap = np.load(block, mmap_mode="r")
+                self._mmaps[shard] = mmap
+            return mmap
+        return block
+
+    def take_rows(self, shard: int, rows: np.ndarray) -> np.ndarray:
+        """Materialise the given rows of one shard as a real array."""
+        return np.asarray(self.windows(shard)[rows])
+
+    def iter_shards(self):
+        """Yield ``(shard_id, windows, midst)``; windows may be a memmap."""
+        for shard in range(self.num_shards):
+            yield shard, self.windows(shard), self._midsts[shard]
+
+    def cleanup(self):
+        """Delete this store's spilled files (no-op for in-memory stores).
+
+        The store — and any corpus built over it — must not be read again
+        afterwards.  Callers that own the fit lifecycle (the ``repro train``
+        CLI) call this once serving/evaluation is done; library users keeping
+        ``estimator.corpus_`` alive clean up when they are."""
+        import shutil
+
+        self._mmaps.clear()
+        if self._dir is not None and os.path.isdir(self._dir):
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+    def __repr__(self) -> str:
+        where = f"spill_dir={self.spill_dir!r}" if self.spilled else "in-memory"
+        return (f"ShardStore({self.num_shards} shards, "
+                f"{self.num_contexts} contexts, {where})")

@@ -1,0 +1,300 @@
+"""Corpus sources: one interface, materialized and streaming implementations.
+
+The trainer consumes its corpus through four operations — batched context
+gathers, whole-corpus embedding passes, co-occurrence statistics, and (for
+full-batch mode only) the fully materialized matrix.  A
+:class:`MaterializedCorpus` implements them over the classic in-memory
+``ContextSet`` + attribute-context matrix pair, numerically identical to the
+historical inline code.  A :class:`StreamingCorpus` implements the same
+operations over a :class:`~repro.scale.store.ShardStore` without ever
+building the ``(num_contexts, c*d)`` matrix: mini-batches and embedding
+chunks materialize only their own rows, and co-occurrence counts accumulate
+shard by shard.
+
+Exactness contract: with the same shards and float64 compute, every batched
+gather and every embedding pass returns bit-identical arrays in both
+implementations, so streaming training reproduces in-memory training losses
+exactly.  (Rows are globally ordered by ``(midst, generation order)`` in both;
+per-node feature sums reduce over the same rows in the same order.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.sparse import SegmentGroups, expand_ranges
+from repro.nn import no_grad
+from repro.nn.tensor import get_default_dtype
+from repro.scale.store import ShardStore
+from repro.walks.contexts import (
+    ContextSet,
+    attribute_context_matrices,
+    pad_attribute_table,
+    sparse_attributes_preferred,
+    windows_to_matrix,
+)
+from repro.walks.cooccurrence import (
+    build_cooccurrence,
+    count_window_cooccurrence,
+    finalize_cooccurrence,
+)
+
+#: Default bound on context rows materialized at once by streaming
+#: whole-corpus passes (embedding epochs, co-occurrence accumulation).
+DEFAULT_CHUNK_ROWS = 8192
+
+
+class CorpusSource:
+    """What the trainer needs from a context corpus (see module docstring)."""
+
+    num_nodes: int
+
+    def counts(self) -> np.ndarray:
+        """``|context(v)|`` per node (drives ``P_V`` and ``k_p``)."""
+        raise NotImplementedError
+
+    @property
+    def num_contexts(self) -> int:
+        raise NotImplementedError
+
+    def max_count(self) -> int:
+        counts = self.counts()
+        return int(counts.max()) if len(counts) and self.num_contexts else 0
+
+    def cooccurrence(self, graph):
+        """The corpus's :class:`~repro.walks.cooccurrence.CooccurrenceStats`."""
+        raise NotImplementedError
+
+    def batch(self, nodes: np.ndarray) -> tuple:
+        """``(context_rows, local_segments)`` for a sorted node batch.
+
+        ``context_rows`` holds the attribute-context rows of every context
+        centred on a batch node, in global (midst, generation) order;
+        ``local_segments`` maps each row to its node's position in ``nodes``.
+        """
+        raise NotImplementedError
+
+    def embed_all(self, model) -> np.ndarray:
+        """Every node's embedding under the current weights (no grad)."""
+        raise NotImplementedError
+
+    def full(self) -> tuple:
+        """``(contexts_flat, segment_ids)`` fully materialized (full-batch
+        training); streaming sources refuse."""
+        raise NotImplementedError
+
+
+class MaterializedCorpus(CorpusSource):
+    """The classic in-memory corpus: one ``ContextSet`` + one flat matrix."""
+
+    def __init__(self, context_set: ContextSet, attributes, sparse=None,
+                 contexts_flat=None):
+        self.context_set = context_set
+        self.num_nodes = context_set.num_nodes
+        if contexts_flat is None:
+            contexts_flat = attribute_context_matrices(context_set, attributes,
+                                                       sparse=sparse)
+        self.contexts_flat = contexts_flat
+        self.segment_ids = context_set.midst
+        self._groups = SegmentGroups(self.segment_ids, self.num_nodes)
+
+    def counts(self) -> np.ndarray:
+        return self.context_set.counts()
+
+    @property
+    def num_contexts(self) -> int:
+        return self.context_set.num_contexts
+
+    def max_count(self) -> int:
+        return self.context_set.max_count()
+
+    def cooccurrence(self, graph):
+        return build_cooccurrence(self.context_set, graph)
+
+    def batch(self, nodes: np.ndarray) -> tuple:
+        rows, lengths = self._groups.rows_for(nodes)
+        return (self.contexts_flat[rows],
+                np.repeat(np.arange(len(nodes)), lengths))
+
+    def embed_all(self, model) -> np.ndarray:
+        with no_grad():
+            return model.embed(self.contexts_flat, self.segment_ids,
+                               self.num_nodes).data.copy()
+
+    def full(self) -> tuple:
+        return self.contexts_flat, self.segment_ids
+
+
+class StreamingCorpus(CorpusSource):
+    """Shard-backed corpus that never materializes the full flat matrix.
+
+    Parameters
+    ----------
+    store:
+        The generated :class:`~repro.scale.store.ShardStore` (in memory or
+        spilled to disk).
+    num_nodes:
+        Graph size.
+    attributes:
+        The input attribute matrix; batch gathers expand windows against it
+        on the fly.
+    sparse:
+        Context-matrix representation (defaults to the same density rule the
+        materialized path uses, so both modes feed identical operands).
+    max_chunk_rows:
+        Upper bound on rows materialized by whole-corpus passes.  Chunks
+        always split on node boundaries so per-node reductions stay
+        bit-identical to the unchunked computation.
+
+    ``max_rows_materialized`` records the largest row block the corpus ever
+    built — the peak-memory regression tests assert it stays well under
+    ``num_contexts``.
+    """
+
+    def __init__(self, store: ShardStore, num_nodes: int, attributes,
+                 sparse=None, max_chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        if max_chunk_rows < 1:
+            raise ValueError("max_chunk_rows must be >= 1")
+        self.store = store
+        self.num_nodes = int(num_nodes)
+        self._sparse = (sparse_attributes_preferred(attributes)
+                        if sparse is None else bool(sparse))
+        # Padded lookup table built once: every batch/chunk expansion is then
+        # a pure row gather instead of an O(n*d) table rebuild.
+        self._table = pad_attribute_table(attributes, sparse=self._sparse)
+        self.max_chunk_rows = int(max_chunk_rows)
+        self.max_rows_materialized = 0
+
+        # Global row order: stable sort of (midst, generation position), the
+        # same order ContextSet would give the concatenated shards.  Only the
+        # per-row (shard, row) coordinates live here — O(num_contexts) ints —
+        # never the expanded attribute rows.
+        sizes = store.shard_sizes()
+        if store.num_shards:
+            generation_midst = np.concatenate(
+                [store.midst(shard) for shard in range(store.num_shards)])
+            shard_of = np.repeat(np.arange(store.num_shards, dtype=np.int64),
+                                 sizes)
+            row_of = expand_ranges(np.zeros(len(sizes), dtype=np.int64), sizes)
+            order = np.argsort(generation_midst, kind="stable")
+            self._midst_sorted = generation_midst[order]
+            self._shard_of = shard_of[order]
+            self._row_of = row_of[order]
+        else:
+            self._midst_sorted = np.empty(0, dtype=np.int64)
+            self._shard_of = np.empty(0, dtype=np.int64)
+            self._row_of = np.empty(0, dtype=np.int64)
+        self._counts = np.bincount(self._midst_sorted, minlength=self.num_nodes)
+        self._indptr = np.concatenate(
+            [[0], np.cumsum(self._counts)]).astype(np.int64)
+
+    # ------------------------------------------------------------ statistics
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def num_contexts(self) -> int:
+        return int(len(self._midst_sorted))
+
+    # ---------------------------------------------------------------- gather
+    def _gather_windows(self, positions: np.ndarray) -> np.ndarray:
+        """Window rows for global sorted positions, loaded shard by shard."""
+        out = np.empty((len(positions), self.store.context_size),
+                       dtype=np.int64)
+        shard_ids = self._shard_of[positions]
+        rows = self._row_of[positions]
+        for shard in np.unique(shard_ids):
+            mask = shard_ids == shard
+            out[mask] = self.store.take_rows(int(shard), rows[mask])
+        self.max_rows_materialized = max(self.max_rows_materialized,
+                                         len(positions))
+        return out
+
+    def _rows_matrix(self, windows: np.ndarray):
+        return windows_to_matrix(windows, None, sparse=self._sparse,
+                                 table=self._table)
+
+    def batch(self, nodes: np.ndarray) -> tuple:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        lengths = self._counts[nodes]
+        positions = expand_ranges(self._indptr[nodes], lengths)
+        windows = self._gather_windows(positions)
+        return (self._rows_matrix(windows),
+                np.repeat(np.arange(len(nodes)), lengths))
+
+    # ------------------------------------------------------- whole-corpus ops
+    def _node_chunks(self):
+        """Split ``0..n`` into node ranges of at most ``max_chunk_rows``
+        contexts (always at least one node per chunk)."""
+        start = 0
+        n = self.num_nodes
+        while start < n:
+            stop = int(np.searchsorted(self._indptr,
+                                       self._indptr[start] + self.max_chunk_rows,
+                                       side="right")) - 1
+            stop = min(max(stop, start + 1), n)
+            yield start, stop
+            start = stop
+
+    def embed_all(self, model) -> np.ndarray:
+        out = np.zeros((self.num_nodes, model.embedding_dim),
+                       dtype=get_default_dtype())
+        with no_grad():
+            for start, stop in self._node_chunks():
+                lo, hi = int(self._indptr[start]), int(self._indptr[stop])
+                if lo == hi:
+                    continue
+                windows = self._gather_windows(np.arange(lo, hi))
+                flat = self._rows_matrix(windows)
+                segments = self._midst_sorted[lo:hi] - start
+                out[start:stop] = model.embed(flat, segments,
+                                              stop - start).data
+        return out
+
+    def cooccurrence(self, graph):
+        """Accumulate ``D`` chunk by chunk, then derive the targets.
+
+        Counting is additive, so the shard-sum equals the whole-corpus count
+        exactly; each chunk materializes at most ``max_chunk_rows`` windows.
+        Per shard the deduplicated chunk triplets concatenate into one CSR
+        build, and shards reduce pairwise — no ``O(chunks * nnz)`` repeated
+        full-matrix additions.
+        """
+        import scipy.sparse as sp
+
+        shard_counts = []
+        for shard, windows, midst in self.store.iter_shards():
+            rows, cols, values = [], [], []
+            for start in range(0, len(midst), self.max_chunk_rows):
+                stop = min(start + self.max_chunk_rows, len(midst))
+                block = count_window_cooccurrence(
+                    np.asarray(windows[start:stop]), midst[start:stop],
+                    self.num_nodes).tocoo()
+                rows.append(block.row)
+                cols.append(block.col)
+                values.append(block.data)
+            if rows:
+                counted = sp.csr_matrix(
+                    (np.concatenate(values),
+                     (np.concatenate(rows), np.concatenate(cols))),
+                    shape=(self.num_nodes, self.num_nodes), dtype=np.float64)
+                counted.sum_duplicates()
+                shard_counts.append(counted)
+        if not shard_counts:
+            D = sp.csr_matrix((self.num_nodes, self.num_nodes),
+                              dtype=np.float64)
+        else:
+            while len(shard_counts) > 1:
+                shard_counts = [
+                    shard_counts[i] + shard_counts[i + 1]
+                    if i + 1 < len(shard_counts) else shard_counts[i]
+                    for i in range(0, len(shard_counts), 2)
+                ]
+            D = shard_counts[0].tocsr()
+        return finalize_cooccurrence(D, graph, self.max_count())
+
+    def full(self) -> tuple:
+        raise RuntimeError(
+            "streaming corpus never materializes contexts_flat; "
+            "set batch_size so the trainer runs mini-batch epochs"
+        )

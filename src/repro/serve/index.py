@@ -149,6 +149,40 @@ class EmbeddingIndex:
             raise IndexError(f"node {node} out of range [0, {self._size})")
         self._derive_rows(slice(node, node + 1), self._coerce_rows(vector))
 
+    # ----------------------------------------------------------- persistence
+    def save(self, path: str) -> str:
+        """Write the index (live vectors + metric + chunk size) to ``.npz``.
+
+        Incrementally :meth:`add`-ed and :meth:`update`-d rows are saved like
+        any other: what persists is the current ``num_vectors``-row state, so
+        a reload serves the same ids and the same search results.  Derived
+        rows (unit norms, squared norms) are recomputed on load from the same
+        float32 vectors by the same routines, hence bit-identical.
+
+        Returns the path actually written (``numpy.savez`` appends ``.npz``).
+        """
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        np.savez_compressed(
+            path,
+            vectors=self._vectors,
+            metric=np.array(self.metric),
+            chunk_rows=np.int64(self.chunk_rows),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "EmbeddingIndex":
+        """Rebuild an index saved by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            if "vectors" not in archive or "metric" not in archive:
+                raise ValueError(f"{path} is not an embedding-index archive")
+            metric = str(archive["metric"])
+            if metric not in METRICS:
+                raise ValueError(f"archive has unknown metric {metric!r}")
+            return cls(archive["vectors"], metric=metric,
+                       chunk_rows=int(archive.get("chunk_rows", DEFAULT_CHUNK_ROWS)))
+
     # --------------------------------------------------------------- scoring
     def _prepare_queries(self, queries) -> np.ndarray:
         queries = np.ascontiguousarray(np.asarray(queries), dtype=np.float32)

@@ -21,14 +21,16 @@ from repro.utils.rng import ensure_rng
 
 
 def _check_trained_ids(embeddings: np.ndarray, nodes: np.ndarray):
-    """Reject ids outside the trained matrix with an actionable message —
-    nodes embedded inductively after training are queryable in the index but
-    have no row here until the scorers are refit (ROADMAP item)."""
+    """Reject ids outside the fitted matrix with an actionable message —
+    a scorer answers only for the rows it was fit on; nodes embedded after
+    that fit become scorable once the scorer refits
+    (:meth:`repro.serve.EmbeddingService.refresh_scorers`, triggered
+    automatically after ``embed_new``)."""
     if nodes.size and (nodes.min() < 0 or nodes.max() >= embeddings.shape[0]):
         raise IndexError(
-            f"node id outside the trained embedding matrix "
-            f"(0..{embeddings.shape[0] - 1}); nodes embedded after training "
-            f"are not scorable — pass their vectors explicitly"
+            f"node id outside the fitted embedding matrix "
+            f"(0..{embeddings.shape[0] - 1}); nodes embedded after this "
+            f"scorer was fit need a refresh — or pass their vectors explicitly"
         )
 
 
@@ -69,7 +71,10 @@ class EdgeScorer:
     """
 
     def __init__(self, embeddings, graph, l2: float = 1.0, seed=None):
-        self._embeddings = np.asarray(embeddings, dtype=np.float64)
+        # A private copy: the scorer promises scoring against the snapshot it
+        # was fit on, even if the caller's matrix is mutated in place later
+        # (the serving layer overwrites refreshed nodes' rows).
+        self._embeddings = np.array(embeddings, dtype=np.float64)
         positives = graph.edge_list()
         if len(positives) == 0:
             raise ValueError("graph has no edges to calibrate the scorer on")
@@ -115,7 +120,8 @@ class LabelScorer:
     """
 
     def __init__(self, embeddings, labels, l2: float = 1.0):
-        self._embeddings = np.asarray(embeddings, dtype=np.float64)
+        # Copied for the same frozen-snapshot reason as EdgeScorer.
+        self._embeddings = np.array(embeddings, dtype=np.float64)
         labels = np.asarray(labels, dtype=np.int64)
         if labels.shape != (self._embeddings.shape[0],):
             raise ValueError("labels must hold one entry per embedded node")

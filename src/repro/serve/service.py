@@ -137,6 +137,17 @@ class EmbeddingService:
         self._edge_scorer = None
         self._label_scorer = None
         self._inductive = None
+        # Scorers fit against this float64 matrix, which tracks the index:
+        # inductive arrivals are appended and refreshed nodes overwritten, so
+        # a refit (triggered lazily via _scorers_stale) always sees exactly
+        # the vectors the index is serving.  Stored as an over-allocated
+        # buffer + live size so streamed single-node arrivals stay amortised
+        # O(d) instead of recopying the whole matrix per add.
+        self._serving_buffer = np.array(checkpoint.embeddings,
+                                        dtype=np.float64)
+        self._serving_size = self._serving_buffer.shape[0]
+        self._scorers_stale = False
+        self._scorer_refreshes = 0
 
     # ------------------------------------------------------------- neighbors
     def query(self, node: int, topk: int = None) -> QueryResult:
@@ -241,11 +252,59 @@ class EmbeddingService:
             raise RuntimeError(f"{feature} needs the service constructed with graph=")
 
     @property
+    def _serving_embeddings(self) -> np.ndarray:
+        """The live (num_served, d') float64 matrix the scorers fit on."""
+        return self._serving_buffer[:self._serving_size]
+
+    def _append_serving(self, vectors: np.ndarray):
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        needed = self._serving_size + vectors.shape[0]
+        if needed > self._serving_buffer.shape[0]:
+            grown = np.empty((max(needed, 2 * self._serving_buffer.shape[0]),
+                              self._serving_buffer.shape[1]))
+            grown[:self._serving_size] = self._serving_embeddings
+            self._serving_buffer = grown
+        self._serving_buffer[self._serving_size:needed] = vectors
+        self._serving_size = needed
+
+    def _serving_graph(self):
+        """The graph the scorers should calibrate on: the inductive encoder's
+        augmented graph once arrivals have been persisted, else the training
+        graph."""
+        if self._inductive is not None:
+            return self._inductive.graph
+        return self.graph
+
+    def _serving_labels(self) -> np.ndarray:
+        """Training labels padded with ``-1`` (unlabelled) for every node
+        embedded after training, matching the serving matrix row count."""
+        labels = np.asarray(self.graph.labels, dtype=np.int64)
+        extra = len(self._serving_embeddings) - len(labels)
+        if extra > 0:
+            labels = np.concatenate([labels, np.full(extra, -1, dtype=np.int64)])
+        return labels
+
+    def refresh_scorers(self):
+        """Drop fitted scorers so the next use refits on the current serving
+        embeddings (called automatically after :meth:`embed_new` /
+        :meth:`refresh_node` change them)."""
+        self._edge_scorer = None
+        self._label_scorer = None
+        self._scorers_stale = False
+        self._scorer_refreshes += 1
+
+    def _scorers_current(self):
+        if self._scorers_stale:
+            self.refresh_scorers()
+
+    @property
     def edge_scorer(self) -> EdgeScorer:
         self._require_graph("edge scoring")
+        self._scorers_current()
         if self._edge_scorer is None:
-            self._edge_scorer = EdgeScorer(self.checkpoint.embeddings,
-                                           self.graph, seed=self._seed)
+            self._edge_scorer = EdgeScorer(self._serving_embeddings,
+                                           self._serving_graph(),
+                                           seed=self._seed)
         return self._edge_scorer
 
     @property
@@ -253,9 +312,10 @@ class EmbeddingService:
         self._require_graph("label scoring")
         if self.graph.labels is None:
             raise RuntimeError("label scoring needs a labelled graph")
+        self._scorers_current()
         if self._label_scorer is None:
-            self._label_scorer = LabelScorer(self.checkpoint.embeddings,
-                                             self.graph.labels)
+            self._label_scorer = LabelScorer(self._serving_embeddings,
+                                             self._serving_labels())
         return self._label_scorer
 
     def score_edges(self, pairs) -> np.ndarray:
@@ -285,11 +345,13 @@ class EmbeddingService:
         """Embed arriving nodes inductively; optionally make them queryable.
 
         Returns the new ``(m, d')`` vectors; with ``add_to_index`` they are
-        appended to the index (ids continue from the current size) and the
-        stale-neighbor cache entries are dropped.  Without it the call is a
-        preview: neither the index nor the frozen graph grows, so index ids
-        and graph node ids can never drift apart (only the shared sampling
-        RNG advances).
+        appended to the index (ids continue from the current size), the
+        stale-neighbor cache entries are dropped, and the online scorers are
+        marked stale so their next use refits against the grown embedding
+        matrix — scoring a new id works as soon as this call returns.
+        Without it the call is a preview: neither the index nor the frozen
+        graph grows, so index ids and graph node ids can never drift apart
+        (only the shared sampling RNG advances).
         """
         inductive = self.inductive
         previous_graph = inductive.graph
@@ -305,15 +367,20 @@ class EmbeddingService:
                 inductive.graph = previous_graph
                 raise
             self._cache.clear()
+            self._append_serving(vectors)
+            self._scorers_stale = True
         return vectors
 
     def refresh_node(self, node: int, num_walks: int = None) -> np.ndarray:
         """Re-embed one existing node from fresh contexts (attribute drift)
-        and update the serving state: the index row is replaced and the
-        neighbor cache is dropped, so subsequent queries see the new vector."""
+        and update the serving state: the index row is replaced, the neighbor
+        cache is dropped, and the scorers are marked stale, so subsequent
+        queries and scores see the new vector."""
         vector = self.inductive.embed_nodes([node], num_walks=num_walks)[0]
         self.index.update(int(node), vector)
         self._cache.clear()
+        self._serving_buffer[int(node)] = np.asarray(vector, dtype=np.float64)
+        self._scorers_stale = True
         return vector
 
     # -------------------------------------------------------------------- stats
@@ -328,5 +395,7 @@ class EmbeddingService:
             "cache_misses": self._cache.misses,
             "cache_entries": len(self._cache),
             "index_vectors": self.index.num_vectors,
+            "scorer_refreshes": self._scorer_refreshes,
+            "scorers_stale": self._scorers_stale,
             "metric": self.metric,
         }

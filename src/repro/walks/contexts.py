@@ -87,6 +87,7 @@ def extract_contexts(
     num_nodes: int,
     subsample_t: float = 1e-5,
     seed=None,
+    node_frequency: np.ndarray = None,
 ) -> ContextSet:
     """Scan walks with a centred window and word2vec subsampling.
 
@@ -103,6 +104,12 @@ def extract_contexts(
         probability ``min(1, sqrt(t / f(v)))`` where ``f(v)`` is ``v``'s
         relative frequency over all walk positions.  Windows at position 0 of
         each walk are always kept.
+    node_frequency:
+        Optional ``(num_nodes,)`` positive-count (or relative-frequency) array
+        defining ``f(v)`` explicitly.  Sharded extraction passes the *global*
+        walk-position counts here so a shard's keep probabilities match the
+        whole corpus rather than its own slice; ``None`` (the default)
+        computes ``f`` from ``walks`` itself.
     """
     walks = np.asarray(walks, dtype=np.int64)
     if walks.ndim != 2:
@@ -120,7 +127,12 @@ def extract_contexts(
     padded[:, half:half + length] = walks
 
     # Relative frequency of each node over all walk positions.
-    frequency = np.bincount(walks.ravel(), minlength=num_nodes).astype(np.float64)
+    if node_frequency is None:
+        frequency = np.bincount(walks.ravel(), minlength=num_nodes).astype(np.float64)
+    else:
+        frequency = np.asarray(node_frequency, dtype=np.float64).copy()
+        if frequency.shape != (num_nodes,):
+            raise ValueError("node_frequency must have one entry per node")
     frequency /= max(frequency.sum(), 1.0)
 
     keep_probability = np.ones(num_nodes)
@@ -146,7 +158,70 @@ def extract_contexts(
     return ContextSet(all_windows, all_midsts, num_nodes)
 
 
-def attribute_context_matrices(context_set: ContextSet, attributes, sparse=None):
+def sparse_attributes_preferred(attributes) -> bool:
+    """The density rule deciding whether context matrices are built as CSR:
+    below 10% nonzero (the bag-of-words datasets) the convolution is a cheap
+    sparse-dense product."""
+    attributes = np.asarray(attributes)
+    return (np.count_nonzero(attributes) / max(attributes.size, 1)) < 0.10
+
+
+def pad_attribute_table(attributes, sparse=None, dtype=None):
+    """The attribute matrix with one trailing zero row (the PAD embedding).
+
+    ``dtype`` defaults to the active compute dtype
+    (:func:`repro.nn.get_default_dtype`), so a float32 fit feeds float32
+    context blocks straight into the convolution.  Callers that expand many
+    window blocks (the streaming corpus) build this once and pass it to
+    :func:`windows_to_matrix` — rebuilding it per block would cost
+    ``O(n * d)`` per mini-batch.
+    """
+    import scipy.sparse as sp
+
+    from repro.nn import get_default_dtype
+
+    if dtype is None:
+        dtype = get_default_dtype()
+    attributes = np.asarray(attributes, dtype=dtype)
+    d = attributes.shape[1]
+    if sparse is None:
+        sparse = sparse_attributes_preferred(attributes)
+    if sparse:
+        return sp.vstack([sp.csr_matrix(attributes),
+                          sp.csr_matrix((1, d), dtype=dtype)]).tocsr()
+    return np.vstack([attributes, np.zeros((1, d), dtype=dtype)])
+
+
+def windows_to_matrix(windows: np.ndarray, attributes, sparse=None, dtype=None,
+                      table=None):
+    """Flattened attribute rows for an arbitrary block of context windows.
+
+    The row-subset form of :func:`attribute_context_matrices`: the streaming
+    trainer gathers the windows of one mini-batch (or one spill shard) and
+    builds just their ``(rows, c * d)`` block, so the full corpus matrix never
+    has to exist.  Row ``i`` of the output is identical to the corresponding
+    row of the full materialisation.
+
+    ``table`` optionally supplies a pre-built :func:`pad_attribute_table`
+    (``attributes``/``sparse``/``dtype`` are then ignored for construction
+    but ``sparse`` must match the table's representation).
+    """
+    import scipy.sparse as sp
+
+    windows = np.asarray(windows, dtype=np.int64)
+    if table is None:
+        table = pad_attribute_table(attributes, sparse=sparse, dtype=dtype)
+    num_rows, c = windows.shape
+    pad_row = table.shape[0] - 1
+    indices = np.where(windows == PAD, pad_row, windows)
+    if sp.issparse(table):
+        blocks = [table[indices[:, position]] for position in range(c)]
+        return sp.hstack(blocks, format="csr")
+    return table[indices].reshape(num_rows, c * table.shape[1])
+
+
+def attribute_context_matrices(context_set: ContextSet, attributes, sparse=None,
+                               dtype=None):
     """Build the flattened attribute-context matrices ``R`` (paper Sec. 3.2).
 
     Each window of node ids becomes the row-concatenation of its members'
@@ -161,21 +236,9 @@ def attribute_context_matrices(context_set: ContextSet, attributes, sparse=None)
         picks CSR when the attribute matrix has density below 10% (the
         bag-of-words datasets), which makes the convolution a cheap
         sparse-dense product.
+    dtype:
+        Element dtype; ``None`` uses the active compute dtype (float64 unless
+        a float32 fit is running).
     """
-    import scipy.sparse as sp
-
-    attributes = np.asarray(attributes, dtype=np.float64)
-    num_contexts, c = context_set.windows.shape
-    d = attributes.shape[1]
-    if sparse is None:
-        density = np.count_nonzero(attributes) / max(attributes.size, 1)
-        sparse = density < 0.10
-    if sparse:
-        # One extra zero row at the end serves as the PAD embedding.
-        table = sp.vstack([sp.csr_matrix(attributes), sp.csr_matrix((1, d))]).tocsr()
-        indices = np.where(context_set.windows == PAD, attributes.shape[0], context_set.windows)
-        blocks = [table[indices[:, position]] for position in range(c)]
-        return sp.hstack(blocks, format="csr")
-    table = np.vstack([attributes, np.zeros((1, d))])
-    indices = np.where(context_set.windows == PAD, attributes.shape[0], context_set.windows)
-    return table[indices].reshape(num_contexts, c * d)
+    return windows_to_matrix(context_set.windows, attributes, sparse=sparse,
+                             dtype=dtype)

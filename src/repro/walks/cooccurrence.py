@@ -98,6 +98,46 @@ def _topk_rows_csr(matrix: sp.csr_matrix, k: int) -> sp.csr_matrix:
     return out
 
 
+def count_window_cooccurrence(windows: np.ndarray, midst: np.ndarray,
+                              num_nodes: int) -> sp.csr_matrix:
+    """Raw co-occurrence counts ``D`` for one block of context windows.
+
+    Counting is additive and order-independent, so summing the counts of
+    disjoint window blocks (spill shards, streaming chunks) reproduces the
+    whole-corpus matrix exactly — the larger-than-memory accumulation path in
+    :mod:`repro.scale` relies on this.
+    """
+    n = num_nodes
+    windows = np.asarray(windows, dtype=np.int64)
+    if not len(windows):
+        return sp.csr_matrix((n, n), dtype=np.float64)
+    c = windows.shape[1]
+    half = (c - 1) // 2
+    # Count every non-pad, non-centre slot of every window.
+    centres = np.repeat(np.asarray(midst, dtype=np.int64), c - 1)
+    slots = np.delete(windows, half, axis=1).ravel()
+    valid = (slots != PAD) & (slots != centres)
+    rows = centres[valid]
+    cols = slots[valid]
+    D = sp.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(n, n), dtype=np.float64
+    )
+    D.sum_duplicates()
+    return D
+
+
+def finalize_cooccurrence(D: sp.csr_matrix, graph: AttributedGraph,
+                          kp: int) -> CooccurrenceStats:
+    """Derive ``D1``, ``D̃``, and the top-``k_p`` targets from raw counts."""
+    adjacency_mask = graph.adjacency.copy()
+    adjacency_mask.data = np.ones_like(adjacency_mask.data)
+    D1 = D.multiply(adjacency_mask).tocsr()
+
+    D_tilde = (row_normalize(D) + D1).tocsr()
+    D_top = _topk_rows_csr(D_tilde, kp)
+    return CooccurrenceStats(D=D, D1=D1, D_tilde=D_tilde, kp=kp, D_top=D_top)
+
+
 def build_cooccurrence(context_set: ContextSet, graph: AttributedGraph) -> CooccurrenceStats:
     """Count co-occurrences and compute the truncated preservation targets.
 
@@ -105,32 +145,6 @@ def build_cooccurrence(context_set: ContextSet, graph: AttributedGraph) -> Coocc
     keeps only the strongest co-occurring neighbors, suppressing the noisy
     low-count entries that random walks produce on sparse graphs.
     """
-    n = context_set.num_nodes
-    windows = context_set.windows
-    midst = context_set.midst
-    c = context_set.context_size
-    half = (c - 1) // 2
-
-    if len(windows):
-        # Count every non-pad, non-centre slot of every window.
-        centres = np.repeat(midst, c - 1)
-        slots = np.delete(windows, half, axis=1).ravel()
-        valid = (slots != PAD) & (slots != centres)
-        rows = centres[valid]
-        cols = slots[valid]
-        D = sp.csr_matrix(
-            (np.ones(len(rows)), (rows, cols)), shape=(n, n), dtype=np.float64
-        )
-        D.sum_duplicates()
-    else:
-        D = sp.csr_matrix((n, n), dtype=np.float64)
-
-    adjacency_mask = graph.adjacency.copy()
-    adjacency_mask.data = np.ones_like(adjacency_mask.data)
-    D1 = D.multiply(adjacency_mask).tocsr()
-
-    D_tilde = (row_normalize(D) + D1).tocsr()
-    kp = context_set.max_count()
-
-    D_top = _topk_rows_csr(D_tilde, kp)
-    return CooccurrenceStats(D=D, D1=D1, D_tilde=D_tilde, kp=kp, D_top=D_top)
+    D = count_window_cooccurrence(context_set.windows, context_set.midst,
+                                  context_set.num_nodes)
+    return finalize_cooccurrence(D, graph, context_set.max_count())

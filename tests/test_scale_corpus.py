@@ -1,0 +1,243 @@
+"""Sharded corpus generation and corpus sources: the determinism contract.
+
+* ``num_workers=1`` must be bit-identical to the classic in-process pipeline
+  (same walks, same windows, same RNG streams).
+* ``num_workers>1`` must be a pure function of ``(seed, num_workers)`` —
+  identical across repeated runs and across execution backends (serial
+  in-process vs a multiprocessing pool).
+* Streaming and materialized corpus sources built from the same shards must
+  agree operation by operation: batched gathers, whole-corpus embeddings,
+  and accumulated co-occurrence statistics.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.model import CoANEModel
+from repro.scale import (
+    MaterializedCorpus,
+    ShardStore,
+    StreamingCorpus,
+    generate_context_shards,
+    plan_shards,
+)
+from repro.utils.rng import spawn_rngs
+from repro.walks.contexts import ContextSet, extract_contexts
+from repro.walks.cooccurrence import build_cooccurrence, count_window_cooccurrence
+from repro.walks.random_walk import RandomWalker
+
+PARAMS = dict(walk_length=20, num_walks=2, context_size=5, subsample_t=1e-4)
+
+
+def _generate(graph, seed, workers, parallel=False, spill_dir=None):
+    store = ShardStore(spill_dir=str(spill_dir) if spill_dir else None)
+    return generate_context_shards(graph, seed=seed, num_workers=workers,
+                                   parallel=parallel, store=store, **PARAMS)
+
+
+def _concat(store):
+    windows = np.vstack([np.asarray(w) for _, w, _ in store.iter_shards()])
+    midst = np.concatenate([m for _, _, m in store.iter_shards()])
+    return windows, midst
+
+
+class TestPlanShards:
+    def test_partition_covers_all_nodes_contiguously(self):
+        shards = plan_shards(11, 3)
+        np.testing.assert_array_equal(np.concatenate(shards), np.arange(11))
+        assert len(shards) == 3
+
+    def test_never_more_shards_than_nodes(self):
+        shards = plan_shards(2, 8)
+        assert len(shards) == 2
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            plan_shards(10, 0)
+
+
+class TestSingleWorkerBitIdentity:
+    def test_matches_classic_pipeline_exactly(self, small_graph):
+        """workers=1 replays RandomWalker.walk + extract_contexts verbatim."""
+        store = _generate(small_graph, seed=11, workers=1)
+        assert store.num_shards == 1
+
+        walk_rng, context_rng = spawn_rngs(11, 2)
+        walks = RandomWalker(small_graph, seed=walk_rng).walk(
+            PARAMS["walk_length"], num_walks=PARAMS["num_walks"])
+        reference = extract_contexts(walks, PARAMS["context_size"],
+                                     small_graph.num_nodes,
+                                     subsample_t=PARAMS["subsample_t"],
+                                     seed=context_rng)
+        np.testing.assert_array_equal(store.windows(0), reference.windows)
+        np.testing.assert_array_equal(store.midst(0), reference.midst)
+
+
+class TestMultiWorkerDeterminism:
+    def test_repeated_runs_identical(self, small_graph):
+        a = _generate(small_graph, seed=5, workers=3)
+        b = _generate(small_graph, seed=5, workers=3)
+        assert a.num_shards == b.num_shards == 3
+        for shard in range(3):
+            np.testing.assert_array_equal(a.windows(shard), b.windows(shard))
+            np.testing.assert_array_equal(a.midst(shard), b.midst(shard))
+
+    def test_serial_equals_process_pool(self, small_graph):
+        serial = _generate(small_graph, seed=5, workers=2, parallel=False)
+        pooled = _generate(small_graph, seed=5, workers=2, parallel=True)
+        for shard in range(2):
+            np.testing.assert_array_equal(serial.windows(shard),
+                                          pooled.windows(shard))
+            np.testing.assert_array_equal(serial.midst(shard),
+                                          pooled.midst(shard))
+
+    def test_seed_changes_output(self, small_graph):
+        a, _ = _concat(_generate(small_graph, seed=5, workers=2))
+        b, _ = _concat(_generate(small_graph, seed=6, workers=2))
+        assert a.shape != b.shape or not np.array_equal(a, b)
+
+    def test_every_node_keeps_a_context(self, small_graph):
+        """Position-0 windows are always kept, shard or no shard."""
+        store = _generate(small_graph, seed=0, workers=4)
+        _, midst = _concat(store)
+        counts = np.bincount(midst, minlength=small_graph.num_nodes)
+        assert (counts > 0).all()
+
+
+class TestShardSpill:
+    def test_spilled_store_round_trips(self, small_graph, tmp_path):
+        memory = _generate(small_graph, seed=9, workers=2)
+        spilled = _generate(small_graph, seed=9, workers=2,
+                            spill_dir=tmp_path / "shards")
+        assert spilled.spilled and not memory.spilled
+        for shard in range(2):
+            # Spilled windows come back as read-only memmaps of equal bytes.
+            assert isinstance(spilled.windows(shard), np.memmap)
+            np.testing.assert_array_equal(np.asarray(spilled.windows(shard)),
+                                          memory.windows(shard))
+        rows = np.array([0, 3, 5])
+        np.testing.assert_array_equal(spilled.take_rows(0, rows),
+                                      memory.take_rows(0, rows))
+
+    def test_shape_validation(self):
+        store = ShardStore()
+        with pytest.raises(ValueError):
+            store.append(np.zeros((3, 5), dtype=np.int64),
+                         np.zeros(2, dtype=np.int64))
+
+
+@pytest.fixture(scope="module")
+def corpora(small_graph):
+    """Streaming + materialized sources over identical workers=2 shards."""
+    store = generate_context_shards(small_graph, seed=3, num_workers=2,
+                                    parallel=False, store=ShardStore(),
+                                    **PARAMS)
+    windows = np.vstack([np.asarray(w) for _, w, _ in store.iter_shards()])
+    midst = np.concatenate([m for _, _, m in store.iter_shards()])
+    context_set = ContextSet(windows, midst, small_graph.num_nodes)
+    materialized = MaterializedCorpus(context_set, small_graph.attributes)
+    streaming = StreamingCorpus(store, small_graph.num_nodes,
+                                small_graph.attributes, max_chunk_rows=97)
+    return materialized, streaming
+
+
+class TestCorpusSourceEquivalence:
+    def test_counts_and_sizes_agree(self, corpora):
+        materialized, streaming = corpora
+        assert streaming.num_contexts == materialized.num_contexts
+        assert streaming.max_count() == materialized.max_count()
+        np.testing.assert_array_equal(streaming.counts(),
+                                      materialized.counts())
+
+    def test_batch_rows_bit_identical(self, corpora):
+        materialized, streaming = corpora
+        for nodes in (np.arange(10), np.array([5, 17, 90, 119]),
+                      np.arange(materialized.num_nodes)):
+            flat_m, seg_m = materialized.batch(nodes)
+            flat_s, seg_s = streaming.batch(nodes)
+            np.testing.assert_array_equal(seg_m, seg_s)
+            if sp.issparse(flat_m):
+                assert sp.issparse(flat_s)
+                assert (flat_m != flat_s).nnz == 0
+                np.testing.assert_array_equal(flat_m.indptr, flat_s.indptr)
+            else:
+                np.testing.assert_array_equal(flat_m, flat_s)
+
+    def test_embed_all_bit_identical(self, corpora, small_graph):
+        materialized, streaming = corpora
+        model = CoANEModel(num_attributes=small_graph.num_attributes,
+                           embedding_dim=16, context_size=5,
+                           decoder_hidden=32, seed=0)
+        np.testing.assert_array_equal(materialized.embed_all(model),
+                                      streaming.embed_all(model))
+
+    def test_cooccurrence_accumulation_exact(self, corpora, small_graph):
+        materialized, streaming = corpora
+        reference = materialized.cooccurrence(small_graph)
+        accumulated = streaming.cooccurrence(small_graph)
+        for name in ("D", "D1", "D_tilde", "D_top"):
+            left = getattr(reference, name)
+            right = getattr(accumulated, name)
+            assert (left != right).nnz == 0, name
+        assert reference.kp == accumulated.kp
+
+    def test_chunked_counting_matches_whole_corpus(self, small_graph):
+        store = generate_context_shards(small_graph, seed=3, num_workers=1,
+                                        store=ShardStore(), **PARAMS)
+        windows, midst = store.windows(0), store.midst(0)
+        whole = count_window_cooccurrence(windows, midst,
+                                          small_graph.num_nodes)
+        total = None
+        for start in range(0, len(midst), 111):
+            block = count_window_cooccurrence(windows[start:start + 111],
+                                              midst[start:start + 111],
+                                              small_graph.num_nodes)
+            total = block if total is None else total + block
+        assert (whole != total).nnz == 0
+        reference = build_cooccurrence(
+            ContextSet(windows, midst, small_graph.num_nodes), small_graph)
+        assert (reference.D != whole).nnz == 0
+
+    def test_streaming_never_materializes_full_matrix(self, small_graph):
+        store = generate_context_shards(small_graph, seed=3, num_workers=2,
+                                        parallel=False, store=ShardStore(),
+                                        **PARAMS)
+        streaming = StreamingCorpus(store, small_graph.num_nodes,
+                                    small_graph.attributes, max_chunk_rows=64)
+        with pytest.raises(RuntimeError, match="never materializes"):
+            streaming.full()
+        model = CoANEModel(num_attributes=small_graph.num_attributes,
+                           embedding_dim=8, context_size=5,
+                           decoder_hidden=16, seed=0)
+        # Whole-corpus passes stay chunk-bounded (a chunk only exceeds
+        # max_chunk_rows when a single node does).
+        streaming.embed_all(model)
+        streaming.cooccurrence(small_graph)
+        assert streaming.max_rows_materialized <= max(
+            64, int(streaming.counts().max()))
+        # Mini-batch gathers expand only their own nodes' rows.
+        counts = streaming.counts()
+        peak_batch = 0
+        for start in range(0, small_graph.num_nodes, 16):
+            nodes = np.arange(start, min(start + 16, small_graph.num_nodes))
+            streaming.batch(nodes)
+            peak_batch = max(peak_batch, int(counts[nodes].sum()))
+        assert streaming.max_rows_materialized <= max(64, peak_batch)
+        assert streaming.max_rows_materialized < streaming.num_contexts
+
+
+class TestSpillIsolation:
+    def test_two_stores_sharing_a_spill_dir_do_not_collide(self, small_graph,
+                                                           tmp_path):
+        """Sequential or concurrent runs pointed at one --spill-dir must not
+        overwrite each other's shard files."""
+        first = _generate(small_graph, seed=1, workers=2,
+                          spill_dir=tmp_path / "d")
+        before = [np.asarray(first.windows(s)).copy() for s in range(2)]
+        second = _generate(small_graph, seed=2, workers=2,
+                           spill_dir=tmp_path / "d")
+        for shard in range(2):
+            np.testing.assert_array_equal(np.asarray(first.windows(shard)),
+                                          before[shard])
+        assert second.num_contexts > 0

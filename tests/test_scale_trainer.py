@@ -1,0 +1,180 @@
+"""Trainer-level scale-out guarantees.
+
+* The default configuration stays bit-identical to the classic path (the
+  corpus-source refactor must be invisible).
+* Streaming training reproduces in-memory training **exactly** in float64 —
+  same loss trajectory, same final embeddings — for both one and many
+  workers.
+* float32 training tracks float64 within tolerance (losses close, final
+  embeddings nearly parallel) at half the memory.
+* The configuration surface validates its new knobs, the checkpoint format
+  round-trips them, and the ``repro train`` CLI drives the whole stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CoANE, CoANEConfig
+
+CFG = dict(embedding_dim=16, decoder_hidden=32, epochs=3, seed=0,
+           walk_length=20, num_walks=2, subsample_t=1e-4)
+
+
+def _fit(graph, **overrides):
+    return CoANE(CoANEConfig(**{**CFG, **overrides})).fit(graph)
+
+
+class TestStreamingEquivalence:
+    def test_streaming_matches_in_memory_exactly_float64(self, small_graph):
+        memory = _fit(small_graph, batch_size=32)
+        stream = _fit(small_graph, batch_size=32, stream=True)
+        for record_m, record_s in zip(memory.history_, stream.history_):
+            assert record_m == record_s
+        np.testing.assert_array_equal(memory.embeddings_, stream.embeddings_)
+
+    def test_streaming_matches_in_memory_with_workers(self, small_graph):
+        memory = _fit(small_graph, batch_size=32, num_workers=3)
+        stream = _fit(small_graph, batch_size=32, num_workers=3, stream=True)
+        for record_m, record_s in zip(memory.history_, stream.history_):
+            assert record_m == record_s
+        np.testing.assert_array_equal(memory.embeddings_, stream.embeddings_)
+
+    def test_streaming_with_spill_matches_too(self, small_graph, tmp_path):
+        memory = _fit(small_graph, batch_size=32)
+        spilled = _fit(small_graph, batch_size=32, stream=True,
+                       spill_dir=str(tmp_path / "shards"))
+        assert (tmp_path / "shards").exists()
+        for record_m, record_s in zip(memory.history_, spilled.history_):
+            assert record_m == record_s
+        np.testing.assert_array_equal(memory.embeddings_, spilled.embeddings_)
+
+    def test_streaming_never_builds_full_matrix(self, small_graph):
+        stream = _fit(small_graph, batch_size=32, stream=True,
+                      stream_chunk_rows=64)
+        corpus = stream.corpus_
+        assert corpus.max_rows_materialized < corpus.num_contexts
+        with pytest.raises(RuntimeError, match="never materializes"):
+            corpus.full()
+        # The chunk budget still reproduces the unchunked losses exactly.
+        memory = _fit(small_graph, batch_size=32)
+        assert [r["loss"] for r in stream.history_] == \
+            [r["loss"] for r in memory.history_]
+
+
+class TestWorkerDeterminism:
+    def test_default_path_unchanged_by_refactor(self, small_graph):
+        """The workers=1 corpus built through repro.scale reproduces the
+        inline pipeline's fit bit for bit."""
+        from repro.scale import MaterializedCorpus, ShardStore, generate_context_shards
+        from repro.walks.contexts import ContextSet
+
+        classic = _fit(small_graph)
+        cfg = CoANEConfig(**CFG)
+        store = generate_context_shards(
+            small_graph, walk_length=cfg.walk_length, num_walks=cfg.num_walks,
+            context_size=cfg.context_size, subsample_t=cfg.subsample_t,
+            seed=cfg.seed, num_workers=1, store=ShardStore())
+        context_set = ContextSet(np.asarray(store.windows(0)), store.midst(0),
+                                 small_graph.num_nodes)
+        corpus = MaterializedCorpus(context_set, small_graph.attributes)
+        explicit = CoANE(cfg).fit(small_graph, corpus=corpus)
+        np.testing.assert_array_equal(classic.embeddings_, explicit.embeddings_)
+        assert classic.history_ == explicit.history_
+
+    def test_workers_runs_reproduce(self, small_graph):
+        a = _fit(small_graph, num_workers=2)
+        b = _fit(small_graph, num_workers=2)
+        np.testing.assert_array_equal(a.embeddings_, b.embeddings_)
+        assert a.history_ == b.history_
+
+
+class TestFloat32Mode:
+    def test_float32_tracks_float64(self, small_graph):
+        f64 = _fit(small_graph, batch_size=32)
+        f32 = _fit(small_graph, batch_size=32, dtype="float32")
+        assert f32.embeddings_.dtype == np.float32
+        assert f64.embeddings_.dtype == np.float64
+        losses64 = np.array([r["loss"] for r in f64.history_])
+        losses32 = np.array([r["loss"] for r in f32.history_])
+        np.testing.assert_allclose(losses32, losses64, rtol=1e-3)
+        a, b = f64.embeddings_, f32.embeddings_.astype(np.float64)
+        norms = np.linalg.norm(a, axis=1) * np.linalg.norm(b, axis=1)
+        valid = norms > 0
+        cosine = (a[valid] * b[valid]).sum(axis=1) / norms[valid]
+        assert cosine.mean() > 0.99
+
+    def test_float32_params_and_state(self, small_graph):
+        f32 = _fit(small_graph, dtype="float32")
+        for _, parameter in f32.model_.named_parameters():
+            assert parameter.data.dtype == np.float32
+        # The compute-dtype context was popped: new tensors are float64 again.
+        from repro.nn import Tensor, get_default_dtype
+        assert get_default_dtype() == np.float64
+        assert Tensor(np.zeros(2, dtype=np.float32)).data.dtype == np.float64
+
+    def test_float32_composes_with_streaming_and_workers(self, small_graph):
+        model = _fit(small_graph, batch_size=32, stream=True, num_workers=2,
+                     dtype="float32")
+        assert model.embeddings_.dtype == np.float32
+        assert np.isfinite([r["loss"] for r in model.history_]).all()
+
+
+class TestConfigSurface:
+    def test_stream_requires_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            CoANEConfig(stream=True).validate()
+
+    def test_sharding_requires_walk_contexts(self):
+        with pytest.raises(ValueError, match="context_source"):
+            CoANEConfig(num_workers=2, context_source="onehop").validate()
+        with pytest.raises(ValueError, match="context_source"):
+            CoANEConfig(stream=True, batch_size=16,
+                        context_source="onehop").validate()
+
+    def test_dtype_and_workers_validated(self):
+        with pytest.raises(ValueError, match="dtype"):
+            CoANEConfig(dtype="float16").validate()
+        with pytest.raises(ValueError, match="num_workers"):
+            CoANEConfig(num_workers=0).validate()
+        with pytest.raises(ValueError, match="stream_chunk_rows"):
+            CoANEConfig(stream_chunk_rows=0).validate()
+
+    def test_checkpoint_round_trips_scale_fields(self, small_graph, tmp_path):
+        from repro.serve import Checkpoint
+
+        estimator = _fit(small_graph, batch_size=32, stream=True,
+                         num_workers=2, dtype="float32")
+        checkpoint = Checkpoint.from_estimator(estimator, small_graph)
+        path = checkpoint.save(str(tmp_path / "scale.ckpt"))
+        loaded = Checkpoint.load(path)
+        config = loaded.to_config()
+        assert config.num_workers == 2
+        assert config.stream is True
+        assert config.dtype == "float32"
+        np.testing.assert_allclose(loaded.embeddings, estimator.embeddings_,
+                                   rtol=1e-6)
+
+
+class TestTrainCli:
+    def test_train_subcommand_smoke(self, capsys):
+        from repro.cli import run
+
+        code = run(["train", "--dataset", "cora", "--scale", "0.2",
+                    "--dim", "16", "--epochs", "2", "--workers", "2",
+                    "--stream", "--dtype", "float32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro train" in out
+        assert "streaming, workers=2" in out
+        assert "float32" in out
+
+    def test_train_export_round_trip(self, capsys, tmp_path):
+        from repro.cli import run
+        from repro.serve import Checkpoint
+
+        path = str(tmp_path / "t.ckpt.npz")
+        code = run(["train", "--dataset", "cora", "--scale", "0.2",
+                    "--dim", "16", "--epochs", "2", "--output", path])
+        assert code == 0
+        checkpoint = Checkpoint.load(path)
+        assert checkpoint.embedding_dim == 16

@@ -141,3 +141,50 @@ class TestSemantics:
             index.search_ids([999], topk=1)
         with pytest.raises(ValueError):
             index.add(np.zeros((1, 5)))
+
+
+class TestPersistence:
+    """save()/load() must round-trip the live index state exactly."""
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_round_trip_preserves_ids_and_search(self, vectors, metric, tmp_path):
+        index = EmbeddingIndex(vectors, metric=metric, chunk_rows=33)
+        path = index.save(str(tmp_path / "index"))
+        assert path.endswith(".npz")
+        loaded = EmbeddingIndex.load(path)
+        assert loaded.metric == metric
+        assert loaded.chunk_rows == 33
+        assert loaded.num_vectors == index.num_vectors
+        ids_a, scores_a = index.search_ids(np.arange(12), topk=7)
+        ids_b, scores_b = loaded.search_ids(np.arange(12), topk=7)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(scores_a, scores_b)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_round_trip_after_incremental_adds(self, vectors, metric, tmp_path):
+        """Incrementally add()-ed and update()-d rows persist with their ids:
+        the over-allocated growth buffers must be invisible on disk."""
+        index = EmbeddingIndex(vectors[:100], metric=metric)
+        new_ids = index.add(vectors[100:140])
+        np.testing.assert_array_equal(new_ids, np.arange(100, 140))
+        for row in vectors[140:150]:
+            index.add(row)
+        index.update(3, vectors[150])
+        path = index.save(str(tmp_path / "grown.npz"))
+        loaded = EmbeddingIndex.load(path)
+        assert loaded.num_vectors == 150
+        np.testing.assert_array_equal(loaded._vectors, index._vectors)
+        queries = np.vstack([vectors[:5], vectors[120:125]])
+        ids_a, scores_a = index.search(queries, topk=9)
+        ids_b, scores_b = loaded.search(queries, topk=9)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(scores_a, scores_b)
+        # The reload keeps accepting arrivals where the original left off.
+        np.testing.assert_array_equal(loaded.add(vectors[150:152]),
+                                      [150, 151])
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="embedding-index archive"):
+            EmbeddingIndex.load(path)

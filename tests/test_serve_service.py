@@ -185,15 +185,35 @@ class TestInductiveWiring:
         assert service.index.num_vectors == n + 1
         assert service.query_vector(vectors[0], topk=1).neighbor_ids[0] == n
 
-    def test_post_training_nodes_rejected_by_scorers_with_clear_error(
+    def test_post_training_nodes_scorable_after_refresh(
             self, service, small_graph):
         n = small_graph.num_nodes
         service.embed_new(small_graph.attributes[0], [[n, 0]], num_walks=4)
         assert service.index.num_vectors == n + 1  # queryable in the index
-        with pytest.raises(IndexError, match="after training"):
-            service.classify(nodes=[n])
-        with pytest.raises(IndexError, match="after training"):
-            service.score_edges([[n, 0]])
+        assert service.stats()["scorers_stale"]
+        # The lazily refreshed scorers cover the arrival id immediately.
+        labels = service.classify(nodes=[n])
+        assert labels.shape == (1,)
+        probabilities = service.score_edges([[n, 0]])
+        assert probabilities.shape == (1,)
+        assert 0.0 <= probabilities[0] <= 1.0
+        assert not service.stats()["scorers_stale"]
+        assert service.stats()["scorer_refreshes"] >= 1
+        # Ids beyond the serving matrix still fail loudly.
+        with pytest.raises(IndexError):
+            service.score_edges([[n + 1, 0]])
+
+    def test_scorers_refit_on_serving_embeddings_after_arrivals(
+            self, service, small_graph):
+        n = small_graph.num_nodes
+        before = service.classify(nodes=[0])  # fit the pre-arrival scorer
+        service.embed_new(small_graph.attributes[1], [[n, 1]], num_walks=4)
+        after = service.classify(nodes=[0])
+        assert before.shape == after.shape
+        # The refreshed label scorer was fit on the grown matrix: it answers
+        # for every id the index serves.
+        all_ids = np.arange(service.index.num_vectors)
+        assert service.classify(nodes=all_ids).shape == (n + 1,)
 
     def test_refresh_node_updates_serving_state(self, service):
         before = service.query(2, topk=5)
@@ -225,3 +245,16 @@ class TestVerification:
                                seed=1)
         with pytest.raises((CheckpointMismatchError, ValueError)):
             EmbeddingService(served, graph=other)
+
+
+class TestScorerSnapshotIsolation:
+    def test_retained_scorer_handle_is_frozen(self, service):
+        """A scorer handle taken before refresh_node keeps scoring against
+        the matrix it was fit on (the service's lazily refit scorer sees the
+        new vector instead)."""
+        scorer = service.label_scorer
+        frozen_row = scorer._embeddings[2].copy()
+        service.refresh_node(2, num_walks=6)
+        np.testing.assert_array_equal(scorer._embeddings[2], frozen_row)
+        refreshed = service.label_scorer
+        assert refreshed is not scorer

@@ -278,17 +278,63 @@ def build_train_parser() -> argparse.ArgumentParser:
                         help="evaluate the embeddings after training (default none)")
     parser.add_argument("--output", default=None,
                         help="write a serve checkpoint here after training")
+    durability = parser.add_argument_group("durability (repro.resilience)")
+    durability.add_argument("--checkpoint", default=None,
+                            help="write epoch-boundary training state here "
+                                 "(atomic, checksummed); enables --resume")
+    durability.add_argument("--checkpoint-every", type=int, default=1,
+                            help="epochs between training-state writes "
+                                 "(default 1; the final epoch always saves)")
+    durability.add_argument("--resume", action="store_true",
+                            help="continue from the training state at "
+                                 "--checkpoint; reproduces the uninterrupted "
+                                 "run exactly (fresh start if none exists)")
+    durability.add_argument("--fault-plan", default=None,
+                            help="arm a deterministic fault plan before "
+                                 "training (JSON text or a path to it); for "
+                                 "resilience testing")
     return parser
 
 
 def run_train(argv) -> int:
-    import time
+    import os
 
-    from repro.core import CoANE, CoANEConfig
+    from repro.resilience import InjectedKill, arm, disarm
 
     args = build_train_parser().parse_args(argv)
+    if args.fault_plan:
+        text = args.fault_plan
+        if os.path.exists(text):
+            with open(text) as handle:
+                text = handle.read()
+        arm(text)
+        print("[fault plan armed]")
+    try:
+        return _run_train(args)
+    except InjectedKill as fault:
+        # The simulated process death: surface it loudly with a distinct
+        # exit code so restart loops (and the CI smoke job) can tell "killed
+        # mid-run, resume me" from ordinary failures.
+        print(f"[injected kill] {fault}", file=sys.stderr)
+        return 3
+    finally:
+        disarm()
+
+
+def _run_train(args) -> int:
+    import time
+    from dataclasses import replace
+
+    from repro.core import CoANE, CoANEConfig
+    from repro.scale import reap_orphans
+
     graph = load_graph(args)
     print(f"Loaded {graph}")
+    if args.spill_dir:
+        # Spill directories leaked by previously killed runs never clean
+        # themselves; collect them before this run starts filling the disk.
+        for path in reap_orphans(args.spill_dir):
+            print(f"[reaped orphaned spill directory {path}]")
     batch_size = args.batch_size
     if batch_size is None and args.stream:
         batch_size = 256
@@ -296,10 +342,11 @@ def run_train(argv) -> int:
         embedding_dim=args.dim, epochs=args.epochs, seed=args.seed,
         batch_size=batch_size, num_workers=args.workers, stream=args.stream,
         spill_dir=args.spill_dir, dtype=args.dtype,
+        checkpoint_path=args.checkpoint, checkpoint_every=args.checkpoint_every,
     )
     estimator = CoANE(config)
     start = time.perf_counter()
-    embeddings = estimator.fit_transform(graph)
+    embeddings = estimator.fit(graph, resume=args.resume).transform()
     seconds = time.perf_counter() - start
     corpus = estimator.corpus_
     rows = [
@@ -315,6 +362,13 @@ def run_train(argv) -> int:
     if getattr(corpus, "max_rows_materialized", None) is not None:
         rows.insert(3, ["peak context rows in memory",
                         corpus.max_rows_materialized])
+    if args.resume:
+        rows.append(["resumed", "yes (exact continuation)"])
+    report = getattr(getattr(corpus, "store", None), "generation_report", None)
+    if report:
+        rows.append(["generation supervision",
+                     f"{report['retries']} retries, {report['respawns']} "
+                     f"respawns, {len(report['degraded'])} degraded"])
     print(format_table(["field", "value"], rows,
                        title=f"repro train ({graph.name})"))
     if args.output:
@@ -324,9 +378,12 @@ def run_train(argv) -> int:
         path = checkpoint.save(args.output)
         print(f"[checkpoint written to {path}]")
     fitted = [estimator]
+    # Link-prediction refits train on a different (edge-split) graph; they
+    # must not clobber the main run's training state.
+    refit_config = replace(config, checkpoint_path=None)
 
     def refit(train_graph):
-        refit_estimator = CoANE(config).fit(train_graph)
+        refit_estimator = CoANE(refit_config).fit(train_graph)
         fitted.append(refit_estimator)
         return refit_estimator.transform()
 

@@ -67,6 +67,14 @@ class CoANEConfig:
     stream_chunk_rows: int | None = None
     dtype: str = "float64"
 
+    # --- durability (repro.resilience) ---
+    # checkpoint_path enables epoch-boundary training-state checkpoints
+    # (atomic, checksummed); fit(resume=True) restarts from the last one and
+    # reproduces the uninterrupted run exactly.  checkpoint_every thins the
+    # write cadence (the final epoch is always captured).
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 1
+
     # --- ablation switches (Fig. 6a / 6c) ---
     positive_mode: str = "coane"     # 'coane' | 'skipgram' | 'off'
     negative_mode: str = "contextual"  # 'contextual' | 'uniform' | 'off'
@@ -113,6 +121,8 @@ class CoANEConfig:
             raise ValueError("stream_chunk_rows must be None or >= 1")
         if self.dtype not in ("float64", "float32"):
             raise ValueError("dtype must be 'float64' or 'float32'")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         if self.stream and self.batch_size is None:
             raise ValueError(
                 "stream=True feeds the trainer mini-batches from shards; "

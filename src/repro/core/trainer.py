@@ -37,12 +37,19 @@ from repro.graph.sparse import SegmentGroups as _SegmentGroups
 from repro.graph.sparse import expand_ranges
 from repro.nn import Adam, Tensor, compute_dtype
 from repro.nn.tensor import clear_selector_cache
+from repro.resilience.faults import fault_check
+from repro.resilience.training import (
+    TrainingState,
+    load_training_state,
+    save_training_state,
+)
 from repro.scale import (
     MaterializedCorpus,
     ShardStore,
     StreamingCorpus,
     generate_context_shards,
 )
+from repro.utils.persistence import graph_fingerprint, normalized_config
 from repro.utils.rng import spawn_rngs
 from repro.walks.contexts import ContextSet, extract_contexts
 from repro.walks.random_walk import RandomWalker
@@ -145,13 +152,21 @@ class CoANE:
         self.cooccurrence_ = None
 
     # ------------------------------------------------------------- pipeline
-    def fit(self, graph: AttributedGraph, corpus=None) -> "CoANE":
+    def fit(self, graph: AttributedGraph, corpus=None,
+            resume: bool = False) -> "CoANE":
         """Run pre-processing and training on ``graph``.
 
         ``corpus`` optionally supplies a pre-built
         :class:`~repro.scale.CorpusSource` (materialized or streaming);
         ``None`` builds one from the configuration — the classic in-process
         pipeline unless ``num_workers`` / ``stream`` say otherwise.
+
+        ``resume=True`` restores the last epoch-boundary training state from
+        ``config.checkpoint_path`` (written when that field is set) and
+        continues from the following epoch; the resumed fit reproduces the
+        uninterrupted run's losses and embeddings exactly at float64.  A
+        missing state file degrades to a fresh fit, so restart loops can pass
+        ``resume`` unconditionally.
         """
         cfg = self.config
         # Selectors cached for the previous fit's index arrays can never hit
@@ -192,7 +207,25 @@ class CoANE:
             # slices them instead of rescanning all pairs with np.isin.
             self._pair_groups = _SegmentGroups(pos_rows, n)
 
-            for epoch in range(cfg.epochs):
+            checkpointing = cfg.checkpoint_path is not None
+            fingerprint = snapshot = None
+            if checkpointing or resume:
+                fingerprint = graph_fingerprint(graph)
+                snapshot = normalized_config(cfg)
+            start_epoch = 0
+            if resume:
+                state = self._load_resume_state(fingerprint, snapshot)
+                if state is not None:
+                    model.load_state_dict(state.params)
+                    optimizer.load_state_dict(state.optimizer)
+                    self._restore_rng_states(state.rng_states, batch_rng,
+                                             sampler)
+                    if state.negatives is not None:
+                        self._negative_cache = state.negatives
+                    self.history_ = list(state.history)
+                    start_epoch = state.epoch + 1
+
+            for epoch in range(start_epoch, cfg.epochs):
                 if cfg.batch_size is None:
                     record = self._full_batch_step(
                         model, optimizer, corpus, n, attributes,
@@ -207,9 +240,58 @@ class CoANE:
                 self.history_.append(record)
                 for hook in cfg.history_hooks:
                     hook(epoch, corpus.embed_all(model))
+                if checkpointing and ((epoch + 1) % cfg.checkpoint_every == 0
+                                      or epoch == cfg.epochs - 1):
+                    self._save_training_state(epoch, model, optimizer,
+                                              batch_rng, sampler,
+                                              fingerprint, snapshot)
+                # The kill site sits AFTER the durable write: "the process
+                # died right at the epoch-e boundary" is the scenario the
+                # resume-equivalence tests replay.
+                fault_check("train.epoch", (epoch,))
 
             self.embeddings_ = corpus.embed_all(model)
         return self
+
+    def _load_resume_state(self, fingerprint, snapshot):
+        """The last training state, validated against this run, or ``None``
+        when no state file exists yet (fresh start)."""
+        cfg = self.config
+        if not cfg.checkpoint_path:
+            raise ValueError(
+                "fit(resume=True) needs config.checkpoint_path to know "
+                "where training state lives"
+            )
+        try:
+            state = load_training_state(cfg.checkpoint_path)
+        except FileNotFoundError:
+            return None
+        state.matches(fingerprint, snapshot)
+        return state
+
+    def _restore_rng_states(self, rng_states: dict, batch_rng, sampler):
+        if "batch" in rng_states:
+            batch_rng.bit_generator.state = rng_states["batch"]
+        if sampler is not None and "sampler" in rng_states:
+            sampler._rng.bit_generator.state = rng_states["sampler"]
+
+    def _save_training_state(self, epoch, model, optimizer, batch_rng,
+                             sampler, fingerprint, snapshot):
+        """Capture the epoch boundary (see :mod:`repro.resilience.training`)."""
+        rng_states = {"batch": batch_rng.bit_generator.state}
+        if sampler is not None:
+            rng_states["sampler"] = sampler._rng.bit_generator.state
+        save_training_state(self.config.checkpoint_path, TrainingState(
+            epoch=epoch,
+            params=model.state_dict(),
+            optimizer=optimizer.state_dict(),
+            rng_states=rng_states,
+            history=self.history_,
+            fingerprint=fingerprint,
+            config=snapshot,
+            negatives=self._negative_cache,
+            info={"num_nodes": self._num_nodes},
+        ))
 
     def _build_corpus(self, graph: AttributedGraph, attributes, walk_rng,
                       context_rng):

@@ -85,3 +85,34 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * grad**2
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def state_dict(self) -> dict:
+        """The optimiser's mutable state: step count and both moment lists
+        (copies, ordered like ``self.parameters``)."""
+        return {
+            "step": self._step,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict):
+        """Restore state captured by :meth:`state_dict`.
+
+        Moments are copied in place, so their dtype (and any views) survive;
+        a shape mismatch means the state belongs to a different model.
+        """
+        moments_m, moments_v = list(state["m"]), list(state["v"])
+        if len(moments_m) != len(self._m) or len(moments_v) != len(self._v):
+            raise ValueError(
+                f"optimizer state has {len(moments_m)}/{len(moments_v)} "
+                f"moment arrays, expected {len(self._m)}"
+            )
+        for target, value in zip(self._m + self._v, moments_m + moments_v):
+            value = np.asarray(value)
+            if target.shape != value.shape:
+                raise ValueError(
+                    f"optimizer moment shape {value.shape} != parameter "
+                    f"shape {target.shape}"
+                )
+            target[...] = value
+        self._step = int(state["step"])

@@ -1,0 +1,127 @@
+"""Artifact integrity: checksums, atomic writes, and quarantine errors.
+
+Two failure modes threaten every on-disk artifact this library writes
+(spilled shards, serve checkpoints, training state): a process killed
+mid-write leaves a truncated file at the destination path, and silent disk
+corruption flips bytes after a clean write.  The first is eliminated by
+construction — :func:`atomic_replace` stages every write in a temp file in
+the destination directory, fsyncs, and ``os.replace``\\ s it into place, so
+the destination either holds the complete old content or the complete new
+content, never a torn hybrid.  The second is *detected*: content checksums
+(:func:`array_checksum`) recorded at write time are verified at read time,
+and a mismatch raises a quarantine error naming the file and the likely
+cause instead of leaking a numpy/zipfile traceback from deep inside a
+decoder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+
+
+class IntegrityError(RuntimeError):
+    """Base class for artifact-integrity failures."""
+
+
+class ShardCorruptError(IntegrityError):
+    """A spilled shard file failed verification; quarantine it."""
+
+
+class CheckpointCorruptError(IntegrityError):
+    """A checkpoint archive is truncated or corrupt; do not trust it."""
+
+
+def array_checksum(array) -> str:
+    """Content digest of an ndarray: dtype + shape + bytes."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(array.dtype).encode())
+    digest.update(repr(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def payload_checksum(arrays: dict, meta: str = "") -> str:
+    """One digest over a named array payload plus a metadata string, for
+    whole-archive verification (order-independent in the key names)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(arrays):
+        digest.update(name.encode())
+        digest.update(array_checksum(arrays[name]).encode())
+    digest.update(meta.encode())
+    return digest.hexdigest()
+
+
+def atomic_replace(path: str, stage) -> str:
+    """Write ``path`` atomically: stage into a same-directory temp file,
+    fsync, then ``os.replace``.
+
+    ``stage(temp_path)`` performs the actual write.  If it raises — including
+    an injected :class:`~repro.resilience.faults.InjectedKill` simulating a
+    process death mid-write — the destination is untouched and the temp file
+    is removed.  The temp file keeps ``path``'s suffix so writers like
+    ``numpy.save``/``savez`` do not append their own.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    base = os.path.basename(path)
+    suffix = os.path.splitext(base)[1]
+    fd, temp = tempfile.mkstemp(prefix=f".{base}.tmp-", suffix=suffix,
+                                dir=directory)
+    os.close(fd)
+    try:
+        stage(temp)
+        with open(temp, "rb") as handle:
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    finally:
+        if os.path.exists(temp):
+            os.unlink(temp)
+    # Durability of the rename itself: fsync the directory (best-effort —
+    # not every filesystem supports opening directories).
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def atomic_save_npy(path: str, array: np.ndarray) -> str:
+    """Atomically write one ``.npy`` file; returns the array's checksum."""
+    checksum = array_checksum(array)
+    atomic_replace(path, lambda temp: np.save(temp, array))
+    return checksum
+
+
+def load_verified_npy(path: str, checksum: str = None,
+                      mmap_mode: str = None) -> np.ndarray:
+    """Load a ``.npy`` file, translating decode failures and checksum
+    mismatches into :class:`ShardCorruptError` with the path and likely
+    cause (instead of a raw numpy traceback)."""
+    try:
+        array = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except Exception as error:
+        raise ShardCorruptError(
+            f"spilled shard {path} cannot be decoded ({error}); the file is "
+            "likely truncated by an interrupted write or bit-rotted on disk "
+            "— quarantine it and regenerate the shard"
+        ) from error
+    if checksum is not None and array_checksum(array) != checksum:
+        raise ShardCorruptError(
+            f"spilled shard {path} fails its content checksum; the bytes on "
+            "disk no longer match what was written — quarantine it and "
+            "regenerate the shard"
+        )
+    if mmap_mode is not None:
+        return np.load(path, mmap_mode=mmap_mode)
+    return array

@@ -1,0 +1,263 @@
+"""Supervised pool execution: retries, timeouts, re-spawn, degradation.
+
+A bare ``pool.map`` has all-or-nothing semantics: one crashed worker raises
+in the parent and the whole batch is lost; one *hung* worker blocks it
+forever.  :func:`run_supervised` runs the same batch with a survival
+contract instead:
+
+* every task gets a **per-attempt deadline** — a hung or abruptly killed
+  worker is detected when its result fails to arrive in time;
+* failures and timeouts are retried with **exponential backoff plus
+  deterministic jitter**, up to a bounded attempt budget;
+* a timeout marks the pool suspect: it is **terminated and re-spawned**
+  (a hung worker never comes back on its own), and the innocent in-flight
+  tasks are resubmitted without spending their retry budget;
+* a task that exhausts its budget **degrades to in-process execution** in
+  the parent — slower, but immune to pool pathology.
+
+The caller's tasks must be pure functions of their payload (the sharded
+walk tasks are: each carries its own ``SeedSequence``), so a retried,
+resubmitted, or degraded task returns bit-identical results and the overall
+output is independent of the fault schedule.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience.faults import InjectedKill
+
+
+@dataclass
+class RetryPolicy:
+    """Supervision knobs for one :func:`run_supervised` batch.
+
+    ``task_timeout`` is the per-attempt deadline in seconds (``None``
+    disables timeout detection — crashes are still retried, but hangs and
+    abrupt worker deaths will block).  Backoff before attempt ``a`` (1-based
+    retry count) is ``min(backoff_base * backoff_factor**(a-1),
+    backoff_max)`` scaled by a deterministic jitter in ``[1, 1+jitter)``
+    drawn from ``(task, attempt)``, so retry storms de-synchronise without
+    making the schedule irreproducible.
+    """
+
+    max_retries: int = 3
+    task_timeout: float = 120.0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    poll_interval: float = 0.02
+
+    def validate(self) -> "RetryPolicy":
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be None or positive")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter:
+            raise ValueError("jitter must be non-negative")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        return self
+
+    def backoff(self, task: int, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` of ``task``."""
+        base = min(self.backoff_base * self.backoff_factor ** max(attempt - 1, 0),
+                   self.backoff_max)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = np.random.default_rng((int(task), int(attempt)))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class SupervisorReport:
+    """What supervision had to do to finish the batch."""
+
+    tasks: int = 0
+    retries: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    degraded: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "retries": self.retries,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "respawns": self.respawns,
+            "degraded": list(self.degraded),
+            "errors": list(self.errors),
+        }
+
+    @property
+    def clean(self) -> bool:
+        """Whether the batch completed without any supervision action."""
+        return not (self.retries or self.respawns or self.degraded)
+
+
+class TaskFailedError(RuntimeError):
+    """A task failed even after retries *and* in-process degradation."""
+
+
+def run_supervised(tasks, pooled_fn, local_fn, *, num_workers: int,
+                   policy: RetryPolicy = None, initializer=None,
+                   initargs=(), mp_context=None):
+    """Run ``tasks`` through a supervised worker pool.
+
+    Parameters
+    ----------
+    tasks:
+        Task payloads; results are returned in the same order.
+    pooled_fn:
+        Module-level callable executed in workers as
+        ``pooled_fn((task, attempt))`` (picklable, one argument).
+    local_fn:
+        ``local_fn(task, attempt)`` executed in the parent for the degraded
+        path — it must compute the same result as the pooled form.
+    num_workers:
+        Pool process count (capped at the task count).
+    policy, initializer, initargs, mp_context:
+        Supervision knobs and the usual pool plumbing.
+
+    Returns ``(results, report)``.  :class:`InjectedKill` (the simulated
+    process death) is never retried — it propagates immediately, like the
+    real thing would.
+    """
+    policy = (policy or RetryPolicy()).validate()
+    tasks = list(tasks)
+    results = [None] * len(tasks)
+    report = SupervisorReport(tasks=len(tasks))
+    if not tasks:
+        return results, report
+    context = mp_context or multiprocessing.get_context()
+    processes = max(1, min(int(num_workers), len(tasks)))
+
+    def spawn_pool():
+        return context.Pool(processes=processes, initializer=initializer,
+                            initargs=initargs)
+
+    def degrade(index: int, attempt: int):
+        report.degraded.append(index)
+        try:
+            results[index] = local_fn(tasks[index], attempt)
+        except InjectedKill:
+            raise
+        except Exception as error:
+            raise TaskFailedError(
+                f"task {index} failed after {policy.max_retries} pool "
+                f"retries and in-process degradation: {error}"
+            ) from error
+
+    pending = deque((index, 0) for index in range(len(tasks)))
+    not_before = {}
+    inflight = {}
+    pool = spawn_pool()
+    try:
+        while pending or inflight:
+            now = time.monotonic()
+            # Fill free pool slots with runnable tasks (skip those still in
+            # their backoff window, preserving order for the rest).
+            deferred = []
+            while pending and len(inflight) < processes:
+                index, attempt = pending.popleft()
+                if not_before.get(index, 0.0) > now:
+                    deferred.append((index, attempt))
+                    continue
+                if attempt > policy.max_retries:
+                    degrade(index, attempt)
+                    continue
+                try:
+                    handle = pool.apply_async(pooled_fn,
+                                              ((tasks[index], attempt),))
+                except Exception:
+                    # The pool itself is broken; replace it and try again.
+                    report.respawns += 1
+                    pool.terminate()
+                    pool.join()
+                    pool = spawn_pool()
+                    handle = pool.apply_async(pooled_fn,
+                                              ((tasks[index], attempt),))
+                deadline = (now + policy.task_timeout
+                            if policy.task_timeout is not None else None)
+                inflight[index] = (handle, attempt, deadline)
+            for item in reversed(deferred):
+                pending.appendleft(item)
+
+            if not inflight:
+                if pending:
+                    wake = min(not_before.get(index, 0.0)
+                               for index, _ in pending)
+                    time.sleep(max(min(wake - time.monotonic(),
+                                       policy.backoff_max),
+                                   policy.poll_interval))
+                continue
+
+            # Collect finished work; detect the first blown deadline.
+            progressed = False
+            timed_out = None
+            now = time.monotonic()
+            for index in list(inflight):
+                handle, attempt, deadline = inflight[index]
+                if handle.ready():
+                    progressed = True
+                    del inflight[index]
+                    try:
+                        results[index] = handle.get()
+                    except InjectedKill:
+                        raise
+                    except Exception as error:
+                        report.failures += 1
+                        report.retries += 1
+                        report.errors.append(f"task {index} attempt {attempt}: "
+                                             f"{type(error).__name__}: {error}")
+                        not_before[index] = (time.monotonic()
+                                             + policy.backoff(index, attempt + 1))
+                        pending.append((index, attempt + 1))
+                elif deadline is not None and now > deadline:
+                    timed_out = index
+                    break
+
+            if timed_out is not None:
+                # A hung (or abruptly dead) worker never yields its slot
+                # back; the only safe recovery is a fresh pool.  The victim
+                # spends a retry; innocent in-flight tasks are resubmitted
+                # at their current attempt.
+                report.timeouts += 1
+                report.retries += 1
+                report.respawns += 1
+                report.errors.append(
+                    f"task {timed_out} attempt {inflight[timed_out][1]}: "
+                    f"timeout after {policy.task_timeout}s; pool re-spawned")
+                pool.terminate()
+                pool.join()
+                for index, (_, attempt, _) in inflight.items():
+                    if index == timed_out:
+                        not_before[index] = (time.monotonic()
+                                             + policy.backoff(index, attempt + 1))
+                        pending.append((index, attempt + 1))
+                    else:
+                        pending.append((index, attempt))
+                inflight = {}
+                pool = spawn_pool()
+            elif not progressed:
+                time.sleep(policy.poll_interval)
+    finally:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass  # a pool whose handler threads already died can refuse this
+    return results, report

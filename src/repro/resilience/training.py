@@ -1,0 +1,185 @@
+"""Durable training state: epoch-boundary checkpoints for exact resume.
+
+A multi-hour ``repro train`` run that dies at epoch 47 of 50 should not
+restart from scratch.  :class:`TrainingState` captures everything epoch
+``e+1`` depends on that is not a pure function of ``(graph, config)``:
+
+* the model parameters and the Adam moments (in their native dtype, so a
+  float32 fit resumes in float32),
+* the mini-batch permutation generator's and the negative sampler's RNG
+  states at the epoch boundary,
+* the fixed pre-sampled negative sets (drawn once before the first
+  full-batch update — redrawing them on resume would fork the run),
+* the loss history so far, and
+* the graph fingerprint + normalised config, so a state file is never
+  silently applied to a different run.
+
+Everything else — the corpus, co-occurrence statistics, positive targets,
+sampler pools — is rebuilt deterministically from the seed on resume.  The
+result: resuming after a kill reproduces the uninterrupted run's losses and
+embeddings *exactly* at float64 (equivalence-tested).
+
+Files are written atomically (:func:`~repro.resilience.integrity
+.atomic_replace`) with a whole-payload content checksum verified on load,
+so a kill mid-save leaves the previous epoch's state intact and silent
+corruption is quarantined instead of resumed from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience.faults import fault_corrupt_file
+from repro.resilience.integrity import (
+    CheckpointCorruptError,
+    atomic_replace,
+    payload_checksum,
+)
+
+#: Bumped when the training-state archive layout changes incompatibly.
+TRAINING_STATE_VERSION = 1
+
+_PARAM_PREFIX = "param::"
+_ADAM_M_PREFIX = "adam_m::"
+_ADAM_V_PREFIX = "adam_v::"
+
+
+class ResumeMismatchError(ValueError):
+    """A training-state file does not belong to this (graph, config) run."""
+
+
+@dataclass
+class TrainingState:
+    """One epoch boundary of one training run (see module docstring)."""
+
+    epoch: int                       # last completed epoch (0-based)
+    params: dict                     # parameter name -> ndarray, native dtype
+    optimizer: dict                  # {"step": int, "m": [...], "v": [...]}
+    rng_states: dict                 # stream name -> bit-generator state dict
+    history: list                    # per-epoch loss records so far
+    fingerprint: str                 # training-graph digest
+    config: dict                     # normalised config snapshot
+    negatives: np.ndarray = None     # fixed full-batch negative sets
+    info: dict = field(default_factory=dict)
+
+    def matches(self, fingerprint: str, config: dict) -> None:
+        """Raise :class:`ResumeMismatchError` unless this state belongs to
+        the given run.  The checkpointing knobs themselves are ignored, so a
+        run may legitimately move its state file between restarts."""
+        if fingerprint != self.fingerprint:
+            raise ResumeMismatchError(
+                f"training state was captured on a different graph "
+                f"(fingerprint {self.fingerprint} != {fingerprint})"
+            )
+        ignored = ("checkpoint_path", "checkpoint_every")
+        ours = {k: v for k, v in self.config.items() if k not in ignored}
+        theirs = {k: v for k, v in config.items() if k not in ignored}
+        if ours != theirs:
+            changed = sorted(k for k in set(ours) | set(theirs)
+                             if ours.get(k) != theirs.get(k))
+            raise ResumeMismatchError(
+                f"training state was captured under a different "
+                f"configuration (differing fields: {changed}); resuming "
+                "would not reproduce the original run"
+            )
+
+
+def save_training_state(path: str, state: TrainingState) -> str:
+    """Atomically write ``state`` with a whole-payload checksum."""
+    arrays = {}
+    for name, value in state.params.items():
+        arrays[_PARAM_PREFIX + name] = np.ascontiguousarray(value)
+    for position, moment in enumerate(state.optimizer.get("m", ())):
+        arrays[f"{_ADAM_M_PREFIX}{position}"] = np.ascontiguousarray(moment)
+    for position, moment in enumerate(state.optimizer.get("v", ())):
+        arrays[f"{_ADAM_V_PREFIX}{position}"] = np.ascontiguousarray(moment)
+    if state.negatives is not None:
+        arrays["negatives"] = np.ascontiguousarray(state.negatives,
+                                                   dtype=np.int64)
+    meta = json.dumps({
+        "version": TRAINING_STATE_VERSION,
+        "epoch": int(state.epoch),
+        "optimizer_step": int(state.optimizer.get("step", 0)),
+        "rng_states": state.rng_states,
+        "history": state.history,
+        "fingerprint": state.fingerprint,
+        "config": state.config,
+        "info": state.info,
+    })
+    payload = dict(arrays)
+    payload["meta_json"] = np.array(meta)
+    payload["checksum"] = np.array(payload_checksum(arrays, meta))
+
+    def stage(temp):
+        np.savez(temp, **payload)
+        fault_corrupt_file("train.checkpoint", None, temp)
+
+    atomic_replace(path, stage)
+    return path
+
+
+def load_training_state(path: str) -> TrainingState:
+    """Load and checksum-verify a file written by :func:`save_training_state`.
+
+    Decode failures and checksum mismatches raise
+    :class:`~repro.resilience.integrity.CheckpointCorruptError` naming the
+    path and likely cause.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            names = set(archive.files)
+            if "meta_json" not in names or "checksum" not in names:
+                raise CheckpointCorruptError(
+                    f"{path} is not a training-state archive (missing "
+                    "metadata); it may be foreign or from an older version"
+                )
+            meta = str(archive["meta_json"])
+            recorded = str(archive["checksum"])
+            arrays = {name: archive[name] for name in names
+                      if name not in ("meta_json", "checksum")}
+    except CheckpointCorruptError:
+        raise
+    except FileNotFoundError:
+        raise
+    except Exception as error:
+        raise CheckpointCorruptError(
+            f"training state {path} cannot be decoded ({error}); the file "
+            "is likely truncated by an interrupted write or corrupted on "
+            "disk — delete it and restart from the last good state"
+        ) from error
+    if payload_checksum(arrays, meta) != recorded:
+        raise CheckpointCorruptError(
+            f"training state {path} fails its content checksum; the bytes "
+            "on disk no longer match what was written — delete it and "
+            "restart from the last good state"
+        )
+    metadata = json.loads(meta)
+    if int(metadata.get("version", 0)) > TRAINING_STATE_VERSION:
+        raise CheckpointCorruptError(
+            f"training state {path} has format version "
+            f"{metadata['version']}, newer than supported "
+            f"({TRAINING_STATE_VERSION})"
+        )
+    params = {name[len(_PARAM_PREFIX):]: arrays[name]
+              for name in arrays if name.startswith(_PARAM_PREFIX)}
+    moments_m = [arrays[name] for name in sorted(
+        (n for n in arrays if n.startswith(_ADAM_M_PREFIX)),
+        key=lambda n: int(n[len(_ADAM_M_PREFIX):]))]
+    moments_v = [arrays[name] for name in sorted(
+        (n for n in arrays if n.startswith(_ADAM_V_PREFIX)),
+        key=lambda n: int(n[len(_ADAM_V_PREFIX):]))]
+    return TrainingState(
+        epoch=int(metadata["epoch"]),
+        params=params,
+        optimizer={"step": int(metadata.get("optimizer_step", 0)),
+                   "m": moments_m, "v": moments_v},
+        rng_states=metadata.get("rng_states", {}),
+        history=metadata.get("history", []),
+        fingerprint=metadata.get("fingerprint", ""),
+        config=metadata.get("config", {}),
+        negatives=arrays.get("negatives"),
+        info=metadata.get("info", {}),
+    )

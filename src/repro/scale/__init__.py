@@ -25,7 +25,7 @@ from repro.scale.sharding import (
     plan_shards,
     shard_seed_sequences,
 )
-from repro.scale.store import ShardStore
+from repro.scale.store import ShardStore, reap_orphans
 from repro.scale.streaming import (
     DEFAULT_CHUNK_ROWS,
     CorpusSource,
@@ -38,6 +38,7 @@ __all__ = [
     "plan_shards",
     "shard_seed_sequences",
     "ShardStore",
+    "reap_orphans",
     "CorpusSource",
     "MaterializedCorpus",
     "StreamingCorpus",

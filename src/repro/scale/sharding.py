@@ -24,11 +24,12 @@ then every shard's windows are extracted against the global frequency table.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 
 import numpy as np
 
+from repro.resilience.faults import fault_check
+from repro.resilience.supervisor import RetryPolicy, run_supervised
 from repro.scale.store import ShardStore
 from repro.utils.rng import spawn_rngs
 from repro.walks.contexts import extract_contexts
@@ -58,9 +59,15 @@ def shard_seed_sequences(seed, num_shards: int) -> tuple:
     return children[0].spawn(num_shards), children[1].spawn(num_shards)
 
 
-def _walk_shard(graph, task) -> np.ndarray:
-    """Sample one shard's walks with its own seeded stream."""
-    start_nodes, walk_length, num_walks, seed_seq = task
+def _walk_shard(graph, task, attempt: int = 0) -> np.ndarray:
+    """Sample one shard's walks with its own seeded stream.
+
+    The output is a pure function of the task payload — the fault-check site
+    and the retry ``attempt`` never touch the walk's ``SeedSequence``, so a
+    retried or degraded shard is bit-identical to a first-try one.
+    """
+    shard, start_nodes, walk_length, num_walks, seed_seq = task
+    fault_check("shard.walk", (shard, attempt))
     walker = RandomWalker(graph, seed=np.random.default_rng(seed_seq))
     return walker.walk(walk_length, num_walks=num_walks, start_nodes=start_nodes)
 
@@ -76,18 +83,31 @@ def _init_worker(graph):
     _worker_graph = graph
 
 
-def _walk_shard_pooled(task) -> np.ndarray:
-    return _walk_shard(_worker_graph, task)
+def _walk_shard_pooled(payload) -> np.ndarray:
+    task, attempt = payload
+    return _walk_shard(_worker_graph, task, attempt)
 
 
-def _map_shards(graph, tasks, num_workers: int, parallel: bool) -> list:
+def _map_shards(graph, tasks, num_workers: int, parallel: bool,
+                policy: RetryPolicy = None) -> tuple:
+    """Run shard tasks serially or under the supervised pool.
+
+    Returns ``(walk_blocks, report)``; ``report`` is ``None`` on the serial
+    path (nothing to supervise) and a
+    :class:`~repro.resilience.SupervisorReport` otherwise.
+    """
     if not parallel or len(tasks) <= 1:
-        return [_walk_shard(graph, task) for task in tasks]
+        return [_walk_shard(graph, task) for task in tasks], None
     processes = min(num_workers, len(tasks), os.cpu_count() or 1)
-    with multiprocessing.get_context().Pool(
-            processes=processes, initializer=_init_worker,
-            initargs=(graph,)) as pool:
-        return pool.map(_walk_shard_pooled, tasks)
+
+    def local(task, attempt):
+        return _walk_shard(graph, task, attempt)
+
+    results, report = run_supervised(
+        tasks, _walk_shard_pooled, local, num_workers=processes,
+        policy=policy, initializer=_init_worker, initargs=(graph,),
+    )
+    return results, report
 
 
 def generate_context_shards(graph, *, walk_length: int, num_walks: int,
@@ -95,7 +115,8 @@ def generate_context_shards(graph, *, walk_length: int, num_walks: int,
                             seed=None, num_workers: int = 1,
                             walk_rng=None, context_rng=None,
                             store: ShardStore = None,
-                            parallel: bool = None) -> ShardStore:
+                            parallel: bool = None,
+                            policy: RetryPolicy = None) -> ShardStore:
     """Generate the walk/context corpus as shards; returns the filled store.
 
     Parameters
@@ -119,6 +140,13 @@ def generate_context_shards(graph, *, walk_length: int, num_walks: int,
     parallel:
         Run shards in a ``multiprocessing`` pool (default: only when
         ``num_workers > 1``).  Serial execution produces identical shards.
+    policy:
+        :class:`~repro.resilience.RetryPolicy` for the supervised pool
+        (timeouts, retry budget, backoff); ``None`` uses the defaults.
+        Because every shard owns its seed stream, no fault schedule —
+        crashes, hangs, pool re-spawns, in-process degradation — can change
+        the corpus bytes; the supervision summary lands on
+        ``store.generation_report``.
     """
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -140,9 +168,11 @@ def generate_context_shards(graph, *, walk_length: int, num_walks: int,
     walk_seqs, context_seqs = shard_seed_sequences(seed, len(shards))
     if parallel is None:
         parallel = True
-    tasks = [(start_nodes, walk_length, num_walks, walk_seqs[i])
+    tasks = [(i, start_nodes, walk_length, num_walks, walk_seqs[i])
              for i, start_nodes in enumerate(shards)]
-    walk_blocks = _map_shards(graph, tasks, num_workers, parallel)
+    walk_blocks, report = _map_shards(graph, tasks, num_workers, parallel,
+                                      policy=policy)
+    store.generation_report = report.as_dict() if report is not None else None
 
     # Global reduce: subsampling probabilities must reflect the frequency of
     # each node across the WHOLE corpus, not one shard's slice of it.

@@ -10,10 +10,16 @@
   operators refitted once and served online,
 * :class:`InductiveEncoder` — fresh-context embedding of unseen or updated
   nodes through the frozen encoder,
-* :class:`EmbeddingService` — the front door with request micro-batching
-  and an LRU query cache (``repro bench --stage serve`` measures it).
+* :class:`EmbeddingService` — the front door with request micro-batching,
+  an LRU query cache, and per-search deadline accounting
+  (``repro bench --stage serve`` measures it).
+
+Checkpoint loads are integrity-checked: an undecodable archive raises
+:class:`~repro.resilience.CheckpointCorruptError` (re-exported here) naming
+the file and the likely cause.
 """
 
+from repro.resilience.integrity import CheckpointCorruptError
 from repro.serve.checkpoint import Checkpoint, CheckpointMismatchError
 from repro.serve.index import METRICS, EmbeddingIndex
 from repro.serve.inductive import InductiveEncoder, augment_graph
@@ -22,6 +28,7 @@ from repro.serve.service import EmbeddingService, QueryResult, ServiceStats
 
 __all__ = [
     "Checkpoint",
+    "CheckpointCorruptError",
     "CheckpointMismatchError",
     "EmbeddingIndex",
     "METRICS",

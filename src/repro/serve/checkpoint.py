@@ -17,12 +17,15 @@ import numpy as np
 
 from repro.core.config import CoANEConfig
 from repro.core.model import CoANEModel
+from repro.resilience.integrity import CheckpointCorruptError
 from repro.utils.persistence import (
     graph_fingerprint,
     load_checkpoint,
     normalized_config,
     save_checkpoint,
 )
+
+__all__ = ["Checkpoint", "CheckpointCorruptError", "CheckpointMismatchError"]
 
 
 class CheckpointMismatchError(ValueError):

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.resilience.faults import fault_check
 from repro.serve.checkpoint import Checkpoint
 from repro.serve.index import EmbeddingIndex
 from repro.serve.inductive import InductiveEncoder
@@ -35,6 +36,7 @@ class QueryResult:
     neighbor_ids: np.ndarray        # (k,) best-first
     scores: np.ndarray              # (k,) matching scores
     cached: bool = False
+    degraded: bool = False          # answered past the service deadline
 
 
 @dataclass
@@ -94,6 +96,8 @@ class ServiceStats:
     batches: int = 0
     batched_queries: int = 0
     search_seconds: float = 0.0
+    deadline_misses: int = 0        # searches that blew the deadline
+    degraded_responses: int = 0     # queries answered by those searches
 
 
 class EmbeddingService:
@@ -113,15 +117,26 @@ class EmbeddingService:
     default_topk, cache_size, max_batch:
         Serving knobs: neighbors per query, LRU capacity (0 disables), and
         the micro-batch flush threshold.
+    deadline_s:
+        Per-search deadline in seconds (``None`` disables).  A search that
+        takes longer still returns its full answer — exact search has no
+        cheaper fallback worth serving — but every affected
+        :class:`QueryResult` is flagged ``degraded`` and the
+        ``deadline_misses`` / ``degraded_responses`` counters in
+        :meth:`stats` tick up, so operators see latency pathology instead
+        of silently slow responses.
     """
 
     def __init__(self, checkpoint, graph=None, metric: str = "cosine",
                  default_topk: int = 10, cache_size: int = 1024,
-                 max_batch: int = 64, verify: bool = True, seed: int = 0):
+                 max_batch: int = 64, verify: bool = True, seed: int = 0,
+                 deadline_s: float = None):
         if isinstance(checkpoint, str):
             checkpoint = Checkpoint.load(checkpoint)
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be None or positive")
         self.checkpoint = checkpoint
         self.graph = graph
         if graph is not None and verify:
@@ -129,6 +144,7 @@ class EmbeddingService:
         self.metric = metric
         self.default_topk = int(default_topk)
         self.max_batch = int(max_batch)
+        self.deadline_s = deadline_s
         self.index = EmbeddingIndex(checkpoint.embeddings, metric=metric)
         self._cache = _LRUCache(cache_size)
         self._pending = []
@@ -179,16 +195,20 @@ class EmbeddingService:
         if missing:
             batch = np.array([nodes[position] for position in missing])
             start = time.perf_counter()
+            fault_check("serve.search")
             ids, scores = self.index.search_ids(batch, topk=topk)
-            self._stats.search_seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self._stats.search_seconds += elapsed
             self._stats.batches += 1
             self._stats.batched_queries += len(missing)
+            degraded = self._check_deadline(elapsed, len(missing))
             for row, position in enumerate(missing):
                 answer = (ids[row].copy(), scores[row].copy())
                 self._cache.put((nodes[position], topk), answer)
                 results[position] = QueryResult(nodes[position],
                                                 answer[0].copy(),
-                                                answer[1].copy())
+                                                answer[1].copy(),
+                                                degraded=degraded)
         self._stats.queries += len(nodes)
         return results
 
@@ -196,12 +216,23 @@ class EmbeddingService:
         """Neighbor query for a raw embedding vector (uncached)."""
         topk = self.default_topk if topk is None else int(topk)
         start = time.perf_counter()
+        fault_check("serve.search")
         ids, scores = self.index.search(vector, topk=topk)
-        self._stats.search_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self._stats.search_seconds += elapsed
         self._stats.queries += 1
         self._stats.batches += 1
         self._stats.batched_queries += 1
-        return QueryResult(-1, ids[0], scores[0])
+        degraded = self._check_deadline(elapsed, 1)
+        return QueryResult(-1, ids[0], scores[0], degraded=degraded)
+
+    def _check_deadline(self, elapsed: float, affected: int) -> bool:
+        """Record one search's deadline outcome; returns whether it missed."""
+        if self.deadline_s is None or elapsed <= self.deadline_s:
+            return False
+        self._stats.deadline_misses += 1
+        self._stats.degraded_responses += affected
+        return True
 
     # --------------------------------------------------------- micro-batching
     def submit(self, node: int, topk: int = None) -> _PendingQuery:
@@ -391,6 +422,9 @@ class EmbeddingService:
             "batches": self._stats.batches,
             "batched_queries": self._stats.batched_queries,
             "search_seconds": self._stats.search_seconds,
+            "deadline_s": self.deadline_s,
+            "deadline_misses": self._stats.deadline_misses,
+            "degraded_responses": self._stats.degraded_responses,
             "cache_hits": self._cache.hits,
             "cache_misses": self._cache.misses,
             "cache_entries": len(self._cache),

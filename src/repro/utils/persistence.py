@@ -6,6 +6,14 @@ and normalised configuration — together with a fingerprint of the dataset
 that produced them, so a loaded artifact is never silently applied to the
 wrong graph.  The low-level archive format lives here (plain ``.npz``, no
 pickling); :mod:`repro.serve.checkpoint` wraps it with model reconstruction.
+
+Writes are atomic (staged to a temp file, fsynced, then ``os.replace``d —
+see :func:`~repro.resilience.integrity.atomic_replace`), so a process killed
+mid-save leaves either the previous artifact or none, never a truncated one.
+Loads that hit an undecodable archive raise
+:class:`~repro.resilience.CheckpointCorruptError` naming the path and the
+likely cause; a well-formed archive that merely isn't the expected kind
+still raises a plain ``ValueError``.
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ import json
 
 import numpy as np
 
+from repro.resilience.faults import fault_corrupt_file
+from repro.resilience.integrity import CheckpointCorruptError, atomic_replace
+
 #: Bumped when the checkpoint archive layout changes incompatibly.
 CHECKPOINT_FORMAT_VERSION = 1
 
@@ -23,15 +34,32 @@ CHECKPOINT_FORMAT_VERSION = 1
 _PARAM_PREFIX = "param::"
 
 
+class _VersionError(ValueError):
+    """Deliberate too-new-format rejection; must not be re-labelled as
+    corruption by the broad decode-error handler."""
+
+
 def save_embeddings(path: str, embeddings: np.ndarray, metadata: dict = None):
-    """Write embeddings (+ JSON-serialisable metadata) to an ``.npz`` file."""
+    """Atomically write embeddings (+ JSON metadata) to an ``.npz`` file.
+
+    Returns the path actually written (the ``.npz`` suffix is appended when
+    missing, matching ``numpy.savez`` semantics)."""
     embeddings = np.asarray(embeddings, dtype=np.float64)
     if embeddings.ndim != 2:
         raise ValueError("embeddings must be a 2-D matrix")
     payload = {"embeddings": embeddings}
     if metadata is not None:
         payload["metadata_json"] = np.array(json.dumps(metadata))
-    np.savez_compressed(path, **payload)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+
+    def stage(temp):
+        # File-object form: ``savez`` must not append a suffix to the temp.
+        with open(temp, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+
+    atomic_replace(path, stage)
+    return path
 
 
 def load_embeddings(path: str, expected_num_nodes: int = None) -> tuple:
@@ -40,13 +68,25 @@ def load_embeddings(path: str, expected_num_nodes: int = None) -> tuple:
     ``expected_num_nodes`` guards against applying embeddings to a graph of a
     different size.
     """
-    with np.load(path, allow_pickle=False) as archive:
-        if "embeddings" not in archive:
-            raise ValueError(f"{path} is not an embeddings archive")
-        embeddings = archive["embeddings"]
-        metadata = None
-        if "metadata_json" in archive:
-            metadata = json.loads(str(archive["metadata_json"]))
+    foreign = False
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            foreign = "embeddings" not in archive
+            embeddings = metadata = None
+            if not foreign:
+                embeddings = archive["embeddings"]
+                if "metadata_json" in archive:
+                    metadata = json.loads(str(archive["metadata_json"]))
+    except FileNotFoundError:
+        raise
+    except Exception as error:
+        raise CheckpointCorruptError(
+            f"embeddings archive {path} cannot be decoded ({error}); the "
+            "file is likely truncated by an interrupted write or corrupted "
+            "on disk — regenerate it from a fresh run"
+        ) from error
+    if foreign:
+        raise ValueError(f"{path} is not an embeddings archive")
     if expected_num_nodes is not None and embeddings.shape[0] != expected_num_nodes:
         raise ValueError(
             f"embedding rows ({embeddings.shape[0]}) != expected nodes "
@@ -131,7 +171,13 @@ def save_checkpoint(path: str, state: dict, embeddings: np.ndarray,
     }
     for name, value in state.items():
         payload[_PARAM_PREFIX + name] = np.asarray(value, dtype=np.float64)
-    np.savez_compressed(path, **payload)
+
+    def stage(temp):
+        with open(temp, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        fault_corrupt_file("checkpoint.write", None, temp)
+
+    atomic_replace(path, stage)
     return path
 
 
@@ -139,26 +185,44 @@ def load_checkpoint(path: str) -> dict:
     """Load an archive written by :func:`save_checkpoint`.
 
     Returns ``{"state", "embeddings", "config", "fingerprint", "extra"}``;
-    raises ``ValueError`` for foreign or incompatible archives.
+    raises ``ValueError`` for foreign or incompatible archives and
+    :class:`~repro.resilience.CheckpointCorruptError` for undecodable ones
+    (truncated writes, bit rot).
     """
-    with np.load(path, allow_pickle=False) as archive:
-        if "format_version" not in archive or "config_json" not in archive:
-            raise ValueError(f"{path} is not a checkpoint archive")
-        version = int(archive["format_version"])
-        if version > CHECKPOINT_FORMAT_VERSION:
-            raise ValueError(
-                f"checkpoint format {version} is newer than supported "
-                f"({CHECKPOINT_FORMAT_VERSION})"
-            )
-        state = {key[len(_PARAM_PREFIX):]: archive[key]
-                 for key in archive.files if key.startswith(_PARAM_PREFIX)}
-        return {
-            "state": state,
-            "embeddings": archive["embeddings"],
-            "config": json.loads(str(archive["config_json"])),
-            "fingerprint": str(archive["fingerprint"]),
-            "extra": json.loads(str(archive["extra_json"])),
-        }
+    foreign = False
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            foreign = ("format_version" not in archive
+                       or "config_json" not in archive)
+            payload = None
+            if not foreign:
+                version = int(archive["format_version"])
+                if version > CHECKPOINT_FORMAT_VERSION:
+                    raise _VersionError(
+                        f"checkpoint format {version} is newer than "
+                        f"supported ({CHECKPOINT_FORMAT_VERSION})"
+                    )
+                state = {key[len(_PARAM_PREFIX):]: archive[key]
+                         for key in archive.files
+                         if key.startswith(_PARAM_PREFIX)}
+                payload = {
+                    "state": state,
+                    "embeddings": archive["embeddings"],
+                    "config": json.loads(str(archive["config_json"])),
+                    "fingerprint": str(archive["fingerprint"]),
+                    "extra": json.loads(str(archive["extra_json"])),
+                }
+    except (FileNotFoundError, _VersionError):
+        raise
+    except Exception as error:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} cannot be decoded ({error}); the file is "
+            "likely truncated by an interrupted write or corrupted on disk "
+            "— quarantine it and retrain or restore from a good copy"
+        ) from error
+    if foreign:
+        raise ValueError(f"{path} is not a checkpoint archive")
+    return payload
 
 
 def config_metadata(config) -> dict:

@@ -1,0 +1,303 @@
+"""Durable training: exact resume after kills, state integrity, serving
+deadlines, and the CLI restart flow.
+
+The equivalence contract under test: ``fit(resume=True)`` after an injected
+kill reproduces the uninterrupted run's losses and embeddings *exactly* at
+float64 (and bit-exactly in each mode's native dtype).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CoANE, CoANEConfig
+from repro.resilience import (
+    CheckpointCorruptError,
+    FaultPlan,
+    FaultSpec,
+    InjectedKill,
+    ResumeMismatchError,
+    TrainingState,
+    arm,
+    disarm,
+    load_training_state,
+    save_training_state,
+)
+
+CFG = dict(embedding_dim=16, decoder_hidden=32, epochs=4, seed=0,
+           walk_length=20, num_walks=2, subsample_t=1e-4)
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+def _fit_killed_then_resumed(graph, state_path, kill_epoch=1, **overrides):
+    """One interrupted-at-``kill_epoch`` + resumed fit; returns the resumed
+    estimator."""
+    arm(FaultPlan([FaultSpec("train.epoch", "kill", (kill_epoch,))]))
+    with pytest.raises(InjectedKill):
+        CoANE(CoANEConfig(**CFG, **overrides,
+                          checkpoint_path=state_path)).fit(graph)
+    disarm()
+    return CoANE(CoANEConfig(**CFG, **overrides,
+                             checkpoint_path=state_path)).fit(graph,
+                                                              resume=True)
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("overrides", [
+        {},                                                  # full batch
+        {"batch_size": 32},                                  # mini batch
+        {"batch_size": 32, "stream": True, "num_workers": 2},  # sharded stream
+    ])
+    def test_resume_after_kill_is_exact(self, small_graph, tmp_path, overrides):
+        full = CoANE(CoANEConfig(**CFG, **overrides)).fit(small_graph)
+        resumed = _fit_killed_then_resumed(small_graph,
+                                           str(tmp_path / "state.npz"),
+                                           **overrides)
+        assert [record["loss"] for record in resumed.history_] == \
+               [record["loss"] for record in full.history_]
+        assert resumed.history_ == full.history_
+        assert np.array_equal(resumed.embeddings_, full.embeddings_)
+
+    def test_float32_resume_keeps_dtype_and_bytes(self, small_graph, tmp_path):
+        full = CoANE(CoANEConfig(**CFG, dtype="float32")).fit(small_graph)
+        resumed = _fit_killed_then_resumed(small_graph,
+                                           str(tmp_path / "state.npz"),
+                                           dtype="float32")
+        assert resumed.embeddings_.dtype == full.embeddings_.dtype
+        assert np.array_equal(resumed.embeddings_, full.embeddings_)
+
+    def test_kill_at_last_checkpointed_epoch(self, small_graph, tmp_path):
+        """Killed after the final epoch's save: resume trains zero epochs and
+        still lands on the identical embeddings."""
+        full = CoANE(CoANEConfig(**CFG)).fit(small_graph)
+        resumed = _fit_killed_then_resumed(small_graph,
+                                           str(tmp_path / "state.npz"),
+                                           kill_epoch=CFG["epochs"] - 1)
+        assert len(resumed.history_) == CFG["epochs"]
+        assert np.array_equal(resumed.embeddings_, full.embeddings_)
+
+    def test_resume_without_state_file_starts_fresh(self, small_graph, tmp_path):
+        state_path = str(tmp_path / "never-written.npz")
+        fresh = CoANE(CoANEConfig(**CFG, checkpoint_path=state_path)).fit(
+            small_graph, resume=True)
+        baseline = CoANE(CoANEConfig(**CFG)).fit(small_graph)
+        assert np.array_equal(fresh.embeddings_, baseline.embeddings_)
+
+    def test_resume_requires_checkpoint_path(self, small_graph):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            CoANE(CoANEConfig(**CFG)).fit(small_graph, resume=True)
+
+
+class TestCheckpointCadence:
+    def test_checkpoint_every_thins_writes_but_final_epoch_saves(
+            self, small_graph, tmp_path):
+        state_path = str(tmp_path / "state.npz")
+        CoANE(CoANEConfig(**CFG, checkpoint_path=state_path,
+                          checkpoint_every=3)).fit(small_graph)
+        state = load_training_state(state_path)
+        assert state.epoch == CFG["epochs"] - 1
+
+    def test_intermediate_state_matches_cadence(self, small_graph, tmp_path):
+        state_path = str(tmp_path / "state.npz")
+        arm(FaultPlan([FaultSpec("train.epoch", "kill", (3,))]))
+        with pytest.raises(InjectedKill):
+            CoANE(CoANEConfig(**dict(CFG, epochs=6),
+                              checkpoint_path=state_path,
+                              checkpoint_every=3)).fit(small_graph)
+        disarm()
+        # Killed at epoch 3; the last multiple-of-3 boundary is epoch 2.
+        assert load_training_state(state_path).epoch == 2
+
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            CoANEConfig(checkpoint_every=0).validate()
+
+
+class TestStateIntegrity:
+    def test_mismatched_graph_refuses_resume(self, small_graph, tiny_graph,
+                                             tmp_path):
+        state_path = str(tmp_path / "state.npz")
+        CoANE(CoANEConfig(**CFG, checkpoint_path=state_path)).fit(small_graph)
+        with pytest.raises(ResumeMismatchError, match="different graph"):
+            CoANE(CoANEConfig(**CFG, checkpoint_path=state_path)).fit(
+                tiny_graph, resume=True)
+
+    def test_mismatched_config_refuses_resume(self, small_graph, tmp_path):
+        state_path = str(tmp_path / "state.npz")
+        CoANE(CoANEConfig(**CFG, checkpoint_path=state_path)).fit(small_graph)
+        changed = dict(CFG, gamma=123.0)
+        with pytest.raises(ResumeMismatchError, match="gamma"):
+            CoANE(CoANEConfig(**changed, checkpoint_path=state_path)).fit(
+                small_graph, resume=True)
+
+    def test_checkpoint_knobs_do_not_block_resume(self, small_graph, tmp_path):
+        """Moving the state file or changing the cadence between restarts is
+        legitimate; only training-relevant fields must match."""
+        state_path = str(tmp_path / "state.npz")
+        arm(FaultPlan([FaultSpec("train.epoch", "kill", (1,))]))
+        with pytest.raises(InjectedKill):
+            CoANE(CoANEConfig(**CFG, checkpoint_path=state_path)).fit(small_graph)
+        disarm()
+        moved = str(tmp_path / "moved.npz")
+        os.rename(state_path, moved)
+        resumed = CoANE(CoANEConfig(**CFG, checkpoint_path=moved,
+                                    checkpoint_every=2)).fit(small_graph,
+                                                             resume=True)
+        full = CoANE(CoANEConfig(**CFG)).fit(small_graph)
+        assert np.array_equal(resumed.embeddings_, full.embeddings_)
+
+    def test_doctored_state_file_quarantined(self, small_graph, tmp_path):
+        state_path = str(tmp_path / "state.npz")
+        CoANE(CoANEConfig(**CFG, checkpoint_path=state_path)).fit(small_graph)
+        with open(state_path, "r+b") as handle:
+            handle.seek(os.path.getsize(state_path) // 2)
+            handle.write(b"\x00" * 64)
+        with pytest.raises(CheckpointCorruptError):
+            load_training_state(state_path)
+
+    def test_torn_state_write_preserves_previous_epoch(self, small_graph,
+                                                       tmp_path):
+        """A kill mid-save (torn temp file) must leave the previous epoch's
+        state readable — the atomic-replace contract."""
+        state_path = str(tmp_path / "state.npz")
+        arm(FaultPlan([FaultSpec("train.checkpoint", "torn", (2,))]))
+        with pytest.raises(InjectedKill):
+            CoANE(CoANEConfig(**CFG, checkpoint_path=state_path)).fit(small_graph)
+        state = load_training_state(state_path)
+        assert state.epoch == 1    # epoch 2's save was torn; epoch 1 survives
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name.startswith(".state")]
+        assert leftovers == []
+
+    def test_state_round_trip(self, tmp_path):
+        state = TrainingState(
+            epoch=3,
+            params={"w": np.arange(6, dtype=np.float32).reshape(2, 3)},
+            optimizer={"step": 7, "m": [np.ones((2, 3))], "v": [np.ones((2, 3))]},
+            rng_states={"batch": {"bit_generator": "PCG64"}},
+            history=[{"loss": 1.5, "epoch": 0}],
+            fingerprint="fp",
+            config={"embedding_dim": 16},
+            negatives=np.arange(8).reshape(2, 4),
+            info={"num_nodes": 2},
+        )
+        path = str(tmp_path / "state.npz")
+        save_training_state(path, state)
+        loaded = load_training_state(path)
+        assert loaded.epoch == 3
+        assert loaded.params["w"].dtype == np.float32
+        assert np.array_equal(loaded.params["w"], state.params["w"])
+        assert loaded.optimizer["step"] == 7
+        assert np.array_equal(loaded.negatives, state.negatives)
+        assert loaded.history == state.history
+        loaded.matches("fp", {"embedding_dim": 16})
+        with pytest.raises(ResumeMismatchError):
+            loaded.matches("other", {"embedding_dim": 16})
+
+
+class TestServiceDeadline:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, small_graph):
+        from repro.serve import Checkpoint
+
+        estimator = CoANE(CoANEConfig(**dict(CFG, epochs=2))).fit(small_graph)
+        return Checkpoint.from_estimator(estimator, small_graph)
+
+    def test_injected_delay_marks_responses_degraded(self, checkpoint,
+                                                     small_graph):
+        from repro.serve import EmbeddingService
+
+        service = EmbeddingService(checkpoint, graph=small_graph,
+                                   deadline_s=0.05)
+        clean = service.query_many([0, 1])
+        assert not any(result.degraded for result in clean)
+        arm(FaultPlan([FaultSpec("serve.search", "delay", (0,),
+                                 seconds=0.15)]))
+        slow = service.query_many([2, 3, 4])
+        assert all(result.degraded for result in slow)
+        stats = service.stats()
+        assert stats["deadline_misses"] == 1
+        assert stats["degraded_responses"] == 3
+        # Cache hits never carry the degraded flag: the answer is instant.
+        again = service.query_many([2, 3, 4])
+        assert all(result.cached and not result.degraded for result in again)
+
+    def test_no_deadline_means_no_accounting(self, checkpoint, small_graph):
+        from repro.serve import EmbeddingService
+
+        service = EmbeddingService(checkpoint, graph=small_graph)
+        arm(FaultPlan([FaultSpec("serve.search", "delay", (0,),
+                                 seconds=0.05)]))
+        results = service.query_many([5, 6])
+        assert not any(result.degraded for result in results)
+        assert service.stats()["deadline_misses"] == 0
+
+    def test_invalid_deadline_rejected(self, checkpoint):
+        from repro.serve import EmbeddingService
+
+        with pytest.raises(ValueError, match="deadline_s"):
+            EmbeddingService(checkpoint, deadline_s=0.0)
+
+
+class TestTrainCli:
+    def test_kill_resume_round_trip(self, tmp_path, capsys):
+        """The operator's flow: a killed run exits 3, ``--resume`` finishes
+        it, and the result equals an uninterrupted run's checkpoint."""
+        from repro.cli import run
+        from repro.utils.persistence import load_checkpoint
+
+        base = ["train", "--dataset", "cora", "--scale", "0.12",
+                "--epochs", "3", "--dim", "16", "--seed", "0"]
+        state = str(tmp_path / "state.npz")
+        plan = FaultPlan([FaultSpec("train.epoch", "kill", (1,))])
+        plan_path = str(tmp_path / "plan.json")
+        with open(plan_path, "w") as handle:
+            handle.write(plan.to_json())
+
+        code = run(base + ["--checkpoint", state, "--fault-plan", plan_path])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "injected kill" in captured.err
+
+        resumed_out = str(tmp_path / "resumed.ckpt")
+        code = run(base + ["--checkpoint", state, "--resume",
+                           "--output", resumed_out])
+        assert code == 0
+        assert "resumed" in capsys.readouterr().out
+
+        full_out = str(tmp_path / "full.ckpt")
+        assert run(base + ["--output", full_out]) == 0
+        resumed = load_checkpoint(resumed_out + ".npz")
+        full = load_checkpoint(full_out + ".npz")
+        assert np.array_equal(resumed["embeddings"], full["embeddings"])
+        for name in full["state"]:
+            assert np.array_equal(resumed["state"][name], full["state"][name])
+
+    def test_spill_dir_orphans_reaped_on_start(self, tmp_path, capsys):
+        import json
+        import tempfile
+
+        from repro.cli import run
+        from repro.scale.store import OWNER_MARKER
+
+        spill_dir = str(tmp_path / "spill")
+        os.makedirs(spill_dir)
+        orphan = tempfile.mkdtemp(prefix="shards-", dir=spill_dir)
+        with open(os.path.join(orphan, OWNER_MARKER), "w") as handle:
+            json.dump({"pid": 2 ** 22 + 4321, "created": 0.0}, handle)
+        code = run(["train", "--dataset", "cora", "--scale", "0.12",
+                    "--epochs", "1", "--dim", "16", "--workers", "2",
+                    "--stream", "--spill-dir", spill_dir])
+        assert code == 0
+        assert "reaped orphaned spill directory" in capsys.readouterr().out
+        assert not os.path.isdir(orphan)
+        # This run's own directory was cleaned up on exit too.
+        assert [name for name in os.listdir(spill_dir)
+                if name.startswith("shards-")] == []

@@ -130,6 +130,16 @@ def build_bench_parser() -> argparse.ArgumentParser:
                              "against float64 (default float32)")
     parser.add_argument("--no-micro", action="store_true",
                         help="skip the vectorised-vs-reference microbenchmarks")
+    parser.add_argument("--ann-nodes", type=int, default=100_000,
+                        help="serve stage: synthetic embedding count for the "
+                             "exact-vs-IVF comparison (default 100000; 0 "
+                             "skips it)")
+    parser.add_argument("--ann-dim", type=int, default=64,
+                        help="serve stage: synthetic embedding dimension for "
+                             "the ANN comparison (default 64)")
+    parser.add_argument("--ann-queries", type=int, default=1024,
+                        help="serve stage: query batch for the ANN comparison "
+                             "(default 1024)")
     parser.add_argument("--output", default=None,
                         help="report path (default BENCH_pipeline.json / "
                              "BENCH_serve.json / BENCH_scale.json by stage)")
@@ -187,6 +197,8 @@ def run_serve_bench_cli(args) -> int:
         dataset=args.dataset, scale=args.scale, seed=args.seed,
         epochs=args.epochs, topk=args.topk,
         batch_size=args.batch_size or 256,
+        ann_nodes=args.ann_nodes, ann_dim=args.ann_dim,
+        ann_queries=args.ann_queries,
     )
     rows = [["train", round(report["train"]["seconds"], 4), "-"],
             ["checkpoint save", round(report["checkpoint"]["save_seconds"], 4), "-"],
@@ -204,6 +216,19 @@ def run_serve_bench_cli(args) -> int:
     print(format_table(["stage", "seconds", "throughput"], rows,
                        title=f"serve bench ({report['dataset']}, "
                              f"scale {report['scale']}, top-{report['topk']})"))
+    if "ann" in report:
+        ann = report["ann"]
+        rows = [["exact", "-", f"{ann['exact']['queries_per_s']:.0f} q/s",
+                 "1.00x", "1.0000"]]
+        for entry in ann["ivf"]:
+            rows.append([f"ivf nprobe={entry['nprobe']}", "-",
+                         f"{entry['queries_per_s']:.0f} q/s",
+                         f"{entry['speedup_vs_exact']:.1f}x",
+                         f"{entry['recall_at_10']:.4f}"])
+        print(format_table(
+            ["tier", "", "throughput", "speedup", "recall@10"], rows,
+            title=f"approximate search ({ann['num_vectors']} vectors, "
+                  f"dim {ann['dim']}, {ann['n_cells']} cells)"))
     path = write_report(report, args.output or "BENCH_serve.json")
     print(f"[report written to {path}]")
     return 0
@@ -446,7 +471,7 @@ def build_query_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro query",
         description="Answer top-k nearest-neighbor queries from a serve "
-                    "checkpoint (exact search; dot / cosine / L2).",
+                    "checkpoint (exact or IVF search; dot / cosine / L2).",
     )
     parser.add_argument("--checkpoint", required=True,
                         help="path written by 'repro export'")
@@ -458,15 +483,28 @@ def build_query_parser() -> argparse.ArgumentParser:
                         help="similarity metric (default cosine)")
     parser.add_argument("--include-self", action="store_true",
                         help="keep the query node itself in its results")
+    parser.add_argument("--index", default="exact", choices=["exact", "ivf"],
+                        help="search tier: 'exact' scans everything, 'ivf' "
+                             "probes the best cells and re-ranks exactly "
+                             "(default exact)")
+    parser.add_argument("--n-cells", type=int, default=None,
+                        help="ivf: coarse cells (default ~4*sqrt(n))")
+    parser.add_argument("--nprobe", type=int, default=8,
+                        help="ivf: cells probed per query (default 8; "
+                             "= n-cells gives exact answers)")
     return parser
 
 
 def run_query(argv) -> int:
-    from repro.serve import Checkpoint, EmbeddingIndex
+    from repro.serve import Checkpoint, EmbeddingIndex, IVFIndex
 
     args = build_query_parser().parse_args(argv)
     checkpoint = Checkpoint.load(args.checkpoint)
-    index = EmbeddingIndex(checkpoint.embeddings, metric=args.metric)
+    if args.index == "ivf":
+        index = IVFIndex(checkpoint.embeddings, metric=args.metric,
+                         n_cells=args.n_cells, nprobe=args.nprobe)
+    else:
+        index = EmbeddingIndex(checkpoint.embeddings, metric=args.metric)
     ids, scores = index.search_ids(args.node, topk=args.topk,
                                    exclude_self=not args.include_self)
     rows = []

@@ -7,6 +7,13 @@ throughput (the micro-batched path), and the LRU cache hit path.  Results
 land in ``BENCH_serve.json`` next to the pipeline tier's
 ``BENCH_pipeline.json`` so the serving perf trajectory is tracked across PRs
 the same way.
+
+With ``ann_nodes > 0`` the report gains an ``"ann"`` section: a synthetic
+clustered embedding set (the geometry trained graph embeddings actually
+have) is searched by the exact tier and by :class:`~repro.serve.ann.IVFIndex`
+across an ``nprobe`` sweep, recording recall@{1,10} against the exact answer
+and batched throughput for both — the numbers behind the README's
+nprobe/recall trade-off table.
 """
 
 from __future__ import annotations
@@ -26,10 +33,83 @@ def _percentile(seconds: list, q: float) -> float:
     return float(np.percentile(np.asarray(seconds), q)) if seconds else None
 
 
+def _recall(approx_ids: np.ndarray, exact_ids: np.ndarray, k: int) -> float:
+    """Mean per-query overlap between approximate and exact top-``k`` ids."""
+    hits = [len(set(approx_ids[row, :k].tolist())
+                & set(exact_ids[row, :k].tolist()))
+            for row in range(exact_ids.shape[0])]
+    return float(np.mean(hits)) / k
+
+
+def _ann_comparison(num_vectors: int, dim: int, num_queries: int, topk: int,
+                    seed: int,
+                    nprobe_sweep=(1, 2, 4, 8, 16, 32)) -> dict:
+    """Exact vs IVF on a synthetic clustered set; the acceptance numbers
+    (recall@10 vs ≥10x batched throughput) come from this sweep."""
+    from repro.serve.ann import IVFIndex, synthetic_clustered_embeddings
+
+    vectors, queries = synthetic_clustered_embeddings(
+        num_vectors, dim, seed=seed, queries=num_queries)
+    warm = queries[:min(32, num_queries)]
+
+    exact = EmbeddingIndex(vectors, metric="cosine")
+    exact.search(warm, topk=topk)
+    start = time.perf_counter()
+    exact_ids, _ = exact.search(queries, topk=topk)
+    exact_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ivf = IVFIndex(vectors, metric="cosine", seed=seed)
+    ivf_build_seconds = time.perf_counter() - start
+
+    sweep = []
+    for nprobe in nprobe_sweep:
+        if nprobe > ivf.n_cells:
+            break
+        ivf.search(warm, topk=topk, nprobe=nprobe)
+        start = time.perf_counter()
+        ids, _ = ivf.search(queries, topk=topk, nprobe=nprobe)
+        seconds = time.perf_counter() - start
+        speedup = exact_seconds / seconds if seconds > 0 else None
+        recall10 = _recall(ids, exact_ids, min(10, topk))
+        sweep.append({
+            "nprobe": int(nprobe),
+            "seconds": seconds,
+            "queries_per_s": num_queries / seconds if seconds > 0 else None,
+            "speedup_vs_exact": speedup,
+            "recall_at_1": _recall(ids, exact_ids, 1),
+            "recall_at_10": recall10,
+            "meets_target": bool(speedup is not None and speedup >= 10.0
+                                 and recall10 >= 0.95),
+        })
+
+    accepted = [entry for entry in sweep if entry["meets_target"]]
+    return {
+        "num_vectors": int(num_vectors),
+        "dim": int(dim),
+        "num_queries": int(num_queries),
+        "topk": int(topk),
+        "metric": "cosine",
+        "n_cells": int(ivf.n_cells),
+        "ivf_build_seconds": ivf_build_seconds,
+        "exact": {
+            "seconds": exact_seconds,
+            "queries_per_s": (num_queries / exact_seconds
+                              if exact_seconds > 0 else None),
+        },
+        "ivf": sweep,
+        # Highest-recall configuration that clears the acceptance bar
+        # (recall@10 >= 0.95 at >= 10x exact throughput), if any.
+        "accepted": (max(accepted, key=lambda entry: entry["recall_at_10"])
+                     if accepted else None),
+    }
+
+
 def run_serve_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
                     epochs: int = 5, topk: int = 10, single_queries: int = 100,
                     batch_size: int = 256, metrics=("dot", "cosine", "l2"),
-                    graph=None, **config_overrides) -> dict:
+                    graph=None, ann_nodes: int = 0, ann_dim: int = 64,
+                    ann_queries: int = 1024, **config_overrides) -> dict:
     """Benchmark the serving path on a dataset analog; returns the report.
 
     Parameters
@@ -42,6 +122,10 @@ def run_serve_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
     topk / single_queries / batch_size:
         Query shape: neighbors per query, number of timed single queries,
         and the batch size for the throughput measurement.
+    ann_nodes / ann_dim / ann_queries:
+        Size of the synthetic embedding set for the exact-vs-IVF comparison
+        (``repro bench`` defaults to 100k nodes; ``0`` — the library default
+        — skips the section so graph-sized test runs stay fast).
     """
     if graph is None:
         if dataset is None:
@@ -108,7 +192,10 @@ def run_serve_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
     repeat = service.query(probe, topk=topk)
     cache_hit_seconds = time.perf_counter() - start
 
-    return {
+    ann = (_ann_comparison(ann_nodes, ann_dim, ann_queries, topk, seed)
+           if ann_nodes > 0 else None)
+
+    report = {
         "benchmark": "serve",
         "dataset": graph.name,
         "scale": scale,
@@ -129,3 +216,6 @@ def run_serve_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
             "hit_was_cached": bool(repeat.cached),
         },
     }
+    if ann is not None:
+        report["ann"] = ann
+    return report

@@ -6,6 +6,9 @@
   in one ``.npz`` archive (``repro export``),
 * :class:`EmbeddingIndex` — exact chunked-matmul top-k under dot / cosine /
   L2 with deterministic tie-breaking (``repro query``),
+* :class:`IVFIndex` — the approximate tier: seeded k-means coarse
+  quantisation, ``nprobe`` cell probing, optional product quantisation, and
+  exact re-ranked scores (``repro query --index ivf``),
 * :class:`EdgeScorer` / :class:`LabelScorer` — the paper's evaluation
   operators refitted once and served online,
 * :class:`InductiveEncoder` — fresh-context embedding of unseen or updated
@@ -20,6 +23,7 @@ the file and the likely cause.
 """
 
 from repro.resilience.integrity import CheckpointCorruptError
+from repro.serve.ann import IVFIndex, synthetic_clustered_embeddings
 from repro.serve.checkpoint import Checkpoint, CheckpointMismatchError
 from repro.serve.index import METRICS, EmbeddingIndex
 from repro.serve.inductive import InductiveEncoder, augment_graph
@@ -31,7 +35,9 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointMismatchError",
     "EmbeddingIndex",
+    "IVFIndex",
     "METRICS",
+    "synthetic_clustered_embeddings",
     "InductiveEncoder",
     "augment_graph",
     "EdgeScorer",

@@ -1,0 +1,747 @@
+"""Approximate serving tier: IVF coarse quantisation with exact re-rank.
+
+The exact :class:`~repro.serve.index.EmbeddingIndex` scores every stored
+vector per query — O(n) work that tops out around a few thousand batched
+queries per second once the index holds a few hundred thousand nodes.
+:class:`IVFIndex` puts an inverted-file (IVF) tier in front of the same
+storage: a seeded k-means coarse quantiser partitions the vectors into
+cells, each query scores only the members of its ``nprobe`` best cells, and
+an exact re-rank stage recomputes true metric scores for everything it
+returns.  The contract mirrors the exact index —
+
+* **same interface** — ``search`` / ``search_ids`` / ``add`` / ``update`` /
+  ``save`` / ``load`` / ``pair_scores`` and the deterministic tie rule
+  (score descending, then id ascending) all carry over, so
+  :class:`~repro.serve.service.EmbeddingService` and ``repro query`` can
+  swap tiers with one flag;
+* **true scores** — returned scores are the canonical
+  :meth:`~repro.serve.index.EmbeddingIndex.pair_scores` values, byte-equal
+  to what the exact tier returns for the same (query, id) pair.  Only
+  *which* ids surface is approximate, and that error is pinned down by the
+  recall harness in ``tests/test_serve_ann.py``;
+* **exact at full probe** — ``nprobe >= n_cells`` means every cell is
+  scanned, so the search delegates to the exact tier outright and is
+  bit-identical to it by construction;
+* **deterministic builds** — k-means init, sampling, and retrains all run
+  on generators derived from ``seed``, so the same (vectors, seed) produce
+  byte-identical cell assignments and therefore byte-identical answers.
+
+The scan is fully vectorised: vectors are packed contiguously per cell and
+each probed cell is scored for all the queries probing it in one float32
+GEMM, so there is no per-query Python loop on the hot path.  An optional
+product quantiser (``pq_m``) replaces the full-vector scan with code-table
+lookups over residuals — in numpy this trades some speed for an
+``m``-bytes-per-vector scan footprint instead of ``4d`` — followed by the
+same exact re-rank over a short list.
+
+Persistence reuses the integrity machinery from :mod:`repro.resilience`:
+archives are written atomically and carry a content checksum that
+:meth:`IVFIndex.load` verifies, raising
+:class:`~repro.resilience.CheckpointCorruptError` on doctored or truncated
+files.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.resilience.integrity import (
+    CheckpointCorruptError,
+    atomic_replace,
+    payload_checksum,
+)
+from repro.serve.index import (
+    DEFAULT_CHUNK_ROWS,
+    METRICS,
+    EmbeddingIndex,
+    _normalize_rows,
+)
+
+#: Bumped when the IVF archive layout changes incompatibly.
+IVF_FORMAT_VERSION = 1
+
+
+def default_n_cells(num_vectors: int) -> int:
+    """The auto cell count: ``4 * sqrt(n)`` keeps mean cell size at
+    ``sqrt(n) / 4``, balancing coarse-scan cost (proportional to cells)
+    against per-cell scan cost (proportional to cell size)."""
+    return max(1, min(num_vectors, int(round(4.0 * np.sqrt(max(num_vectors, 1))))))
+
+
+def synthetic_clustered_embeddings(num_vectors: int, dim: int,
+                                   num_clusters: int = None,
+                                   noise: float = 0.9, seed: int = 0,
+                                   queries: int = 0) -> tuple:
+    """A seeded mixture-of-Gaussians embedding set (plus held-out queries).
+
+    Trained graph embeddings are clustered — nodes of one community land
+    near each other — which is exactly the geometry an IVF tier exploits, so
+    the benchmark and the recall harness both draw from a mixture rather
+    than an isotropic cloud.  ``noise`` is the within-cluster standard
+    deviation relative to the unit-variance cluster centers; the default
+    overlaps clusters enough that recall genuinely rises with ``nprobe``.
+
+    Returns ``(vectors, query_vectors)`` as float32 arrays; ``query_vectors``
+    is empty unless ``queries`` is set.
+    """
+    rng = np.random.default_rng(seed)
+    num_clusters = num_clusters or max(1, num_vectors // 100)
+    centers = rng.standard_normal((num_clusters, dim)).astype(np.float32)
+
+    def draw(count):
+        which = rng.integers(0, num_clusters, size=count)
+        jitter = rng.standard_normal((count, dim)).astype(np.float32)
+        return centers[which] + np.float32(noise) * jitter
+
+    return draw(num_vectors), draw(queries)
+
+
+def _seeded_kmeans(rows: np.ndarray, k: int, rng: np.random.Generator,
+                   iters: int = 15) -> np.ndarray:
+    """Lloyd's k-means over float32 ``rows``; returns the ``(k, d)``
+    centroids.  Everything is deterministic given ``rng``'s state: init picks
+    ``k`` distinct rows, assignment ties go to the lower centroid id, and
+    empty cells keep their previous centroid."""
+    n = rows.shape[0]
+    centroids = rows[np.sort(rng.choice(n, size=k, replace=False))].copy()
+    for _ in range(max(0, iters)):
+        labels = _assign_cells(rows, centroids)
+        # Segment means via sort + reduceat: one vectorised pass instead of a
+        # Python loop over cells.  reduceat gets only the occupied cells'
+        # start offsets (strictly increasing, so each segment runs to the
+        # next occupied cell / the end).
+        order = np.argsort(labels, kind="stable")
+        counts = np.bincount(labels, minlength=k)
+        occupied = counts > 0
+        starts = np.searchsorted(labels[order], np.flatnonzero(occupied))
+        sums = np.add.reduceat(rows[order], starts, axis=0)
+        updated = centroids.copy()
+        updated[occupied] = (sums
+                             / counts[occupied, None].astype(np.float32))
+        if np.array_equal(updated, centroids):
+            break
+        centroids = updated
+    return centroids
+
+
+def _assign_cells(rows: np.ndarray, centroids: np.ndarray,
+                  chunk: int = 8192) -> np.ndarray:
+    """Nearest centroid (squared L2) per row; ties go to the lower centroid
+    id via ``argmax``'s first-hit rule."""
+    cent_sq = np.einsum("ij,ij->i", centroids, centroids)
+    labels = np.empty(rows.shape[0], dtype=np.int64)
+    for start in range(0, rows.shape[0], chunk):
+        block = rows[start:start + chunk] @ centroids.T
+        labels[start:start + chunk] = np.argmax(2.0 * block - cent_sq, axis=1)
+    return labels
+
+
+class _ProductQuantizer:
+    """Residual product quantiser for the optional compressed scan stage.
+
+    Vectors are encoded as ``pq_m`` uint8 codes over the residual to their
+    cell centroid; at query time a per-query lookup table turns each code
+    into its dot-product contribution, so scanning a cell touches ``pq_m``
+    bytes per vector instead of ``4 * dim``.
+    """
+
+    def __init__(self, dim: int, pq_m: int, pq_bits: int):
+        if dim % pq_m != 0:
+            raise ValueError(f"pq_m ({pq_m}) must divide dim ({dim})")
+        if not 1 <= pq_bits <= 8:
+            raise ValueError("pq_bits must be in [1, 8] (codes are uint8)")
+        self.pq_m = int(pq_m)
+        self.pq_bits = int(pq_bits)
+        self.dsub = dim // pq_m
+        self.codebooks = None          # (pq_m, ks, dsub) float32
+
+    def train(self, residuals: np.ndarray, rng: np.random.Generator,
+              iters: int):
+        ks = min(2 ** self.pq_bits, residuals.shape[0])
+        books = np.empty((self.pq_m, ks, self.dsub), dtype=np.float32)
+        for sub in range(self.pq_m):
+            block = np.ascontiguousarray(
+                residuals[:, sub * self.dsub:(sub + 1) * self.dsub])
+            books[sub] = _seeded_kmeans(block, ks, rng, iters=iters)
+        self.codebooks = books
+
+    def encode(self, residuals: np.ndarray) -> np.ndarray:
+        codes = np.empty((residuals.shape[0], self.pq_m), dtype=np.uint8)
+        for sub in range(self.pq_m):
+            block = np.ascontiguousarray(
+                residuals[:, sub * self.dsub:(sub + 1) * self.dsub])
+            codes[:, sub] = _assign_cells(block, self.codebooks[sub])
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        parts = [self.codebooks[sub][codes[:, sub].astype(np.int64)]
+                 for sub in range(self.pq_m)]
+        return np.concatenate(parts, axis=1)
+
+    def query_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query ``(pq_m, ks)`` dot-contribution lookup tables."""
+        sub_queries = queries.reshape(queries.shape[0], self.pq_m, self.dsub)
+        return np.einsum("qmd,mkd->qmk", sub_queries, self.codebooks,
+                         optimize=True)
+
+
+class IVFIndex:
+    """Approximate batched top-k search: IVF coarse tier + exact re-rank.
+
+    Parameters
+    ----------
+    embeddings:
+        The ``(n, d)`` vector matrix (stored float32, exactly like the exact
+        index — an inner :class:`EmbeddingIndex` is the storage backbone and
+        the delegate for full-probe searches).
+    metric:
+        ``'dot'`` | ``'cosine'`` | ``'l2'``.  Clustering runs on the same
+        representation the metric scores (unit rows for cosine).
+    n_cells:
+        Coarse cells (default :func:`default_n_cells`; clipped to ``n``).
+    nprobe:
+        Cells scanned per query (clipped to ``n_cells``; ``nprobe >=
+        n_cells`` delegates to the exact index).  Also overridable per
+        :meth:`search` call.
+    seed:
+        Drives k-means sampling/init and retrains; same (vectors, seed) ⇒
+        byte-identical assignments and answers.
+    train_iters / train_sample:
+        Lloyd iterations and the vector-sample cap used for training (the
+        full set is always assigned; only *training* subsamples).
+    retrain_imbalance:
+        :meth:`add` triggers a full deterministic retrain once the largest
+        cell exceeds ``retrain_imbalance`` times the mean cell size.
+    pq_m / pq_bits / rerank:
+        Optional product-quantised scan: ``pq_m`` sub-codes of ``pq_bits``
+        over cell residuals score candidates approximately, then the best
+        ``rerank`` (default ``max(64, 8k)``) per query are re-ranked with
+        exact float32 scores.  ``pq_m=None`` (default) scans full vectors.
+    """
+
+    def __init__(self, embeddings, metric: str = "cosine", n_cells: int = None,
+                 nprobe: int = 8, seed: int = 0,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS, train_iters: int = 15,
+                 train_sample: int = 100_000, retrain_imbalance: float = 8.0,
+                 pq_m: int = None, pq_bits: int = 8, rerank: int = None):
+        start = time.perf_counter()
+        self._exact = EmbeddingIndex(embeddings, metric=metric,
+                                     chunk_rows=chunk_rows)
+        n = self._exact.num_vectors
+        if n_cells is not None and n_cells < 1:
+            raise ValueError("n_cells must be >= 1")
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if train_sample < 1:
+            raise ValueError("train_sample must be >= 1")
+        if retrain_imbalance <= 1.0:
+            raise ValueError("retrain_imbalance must be > 1.0")
+        self.seed = int(seed)
+        self.n_cells = min(n_cells or default_n_cells(n), max(n, 1))
+        self.nprobe = min(int(nprobe), self.n_cells)
+        self.train_iters = int(train_iters)
+        self.train_sample = int(train_sample)
+        self.retrain_imbalance = float(retrain_imbalance)
+        self.rerank = None if rerank is None else int(rerank)
+        self.retrains = 0
+        if pq_m is not None and n == 0:
+            raise ValueError(
+                "product quantisation needs vectors to train its codebooks; "
+                "build the PQ index once embeddings exist")
+        self._pq = (_ProductQuantizer(self._exact.dim, pq_m, pq_bits)
+                    if pq_m is not None else None)
+        self._codes = None
+        self._recon_sq = None
+        self._train(np.random.default_rng((self.seed, 0)))
+        self.build_seconds = time.perf_counter() - start
+
+    # ----------------------------------------------------------- delegation
+    @property
+    def metric(self) -> str:
+        return self._exact.metric
+
+    @property
+    def chunk_rows(self) -> int:
+        return self._exact.chunk_rows
+
+    @property
+    def num_vectors(self) -> int:
+        return self._exact.num_vectors
+
+    @property
+    def dim(self) -> int:
+        return self._exact.dim
+
+    def __len__(self) -> int:
+        return self.num_vectors
+
+    def vector(self, node: int) -> np.ndarray:
+        return self._exact.vector(node)
+
+    def scores(self, queries) -> np.ndarray:
+        """Full brute-force ranking scores (the exact tier's reference)."""
+        return self._exact.scores(queries)
+
+    def pair_scores(self, queries, ids) -> np.ndarray:
+        """Canonical per-pair scores (see
+        :meth:`EmbeddingIndex.pair_scores`)."""
+        return self._exact.pair_scores(queries, ids)
+
+    @property
+    def cell_sizes(self) -> np.ndarray:
+        """Current member count per cell."""
+        return self._counts.copy()
+
+    # ------------------------------------------------------------- training
+    def _scorable_rows(self, ids=None) -> np.ndarray:
+        rows = self._exact._scorable
+        return rows if ids is None else rows[ids]
+
+    def _train(self, rng: np.random.Generator):
+        n = self.num_vectors
+        if n == 0:
+            self._centroids = np.zeros((self.n_cells, self.dim),
+                                       dtype=np.float32)
+            self._cell_of = np.empty(0, dtype=np.int64)
+        else:
+            rows = self._scorable_rows()
+            sample_size = min(n, max(self.train_sample, self.n_cells))
+            sample = (rows if sample_size == n else
+                      rows[np.sort(rng.choice(n, size=sample_size,
+                                              replace=False))])
+            self._centroids = _seeded_kmeans(sample, self.n_cells, rng,
+                                             iters=self.train_iters)
+            self._cell_of = _assign_cells(rows, self._centroids)
+        self._cent_sq = np.einsum("ij,ij->i", self._centroids,
+                                  self._centroids)
+        self._counts = np.bincount(self._cell_of, minlength=self.n_cells)
+        if self._pq is not None and n > 0:
+            residuals = rows - self._centroids[self._cell_of]
+            sample_ids = (np.arange(n) if n <= self.train_sample else
+                          np.sort(rng.choice(n, size=self.train_sample,
+                                             replace=False)))
+            self._pq.train(residuals[sample_ids], rng,
+                           iters=max(4, self.train_iters // 2))
+            self._codes = self._pq.encode(residuals)
+            self._refresh_recon_sq()
+        self._packed_dirty = True
+
+    def _refresh_recon_sq(self):
+        if self.metric != "l2":
+            self._recon_sq = None     # only the l2 scan needs ||recon||^2
+            return
+        recon = self._centroids[self._cell_of] + self._pq.decode(self._codes)
+        self._recon_sq = np.einsum("ij,ij->i", recon, recon)
+
+    def _retrain(self):
+        """Full deterministic re-cluster; the generator is keyed by the
+        retrain ordinal so a replayed add() sequence reproduces the exact
+        same index state."""
+        self.retrains += 1
+        self._train(np.random.default_rng((self.seed, self.retrains)))
+
+    def _ensure_packed(self):
+        """(Re)build the per-cell contiguous layout the scan runs on."""
+        if not self._packed_dirty:
+            return
+        order = np.lexsort((np.arange(self.num_vectors), self._cell_of))
+        self._packed = np.ascontiguousarray(self._scorable_rows(order))
+        self._packed_ids = order
+        self._starts = np.concatenate(
+            [[0], np.cumsum(self._counts)]).astype(np.int64)
+        self._packed_sq = (self._exact._sq_norms[order]
+                           if self.metric == "l2" else None)
+        if self._pq is not None:
+            self._packed_codes = np.ascontiguousarray(self._codes[order])
+            self._packed_recon_sq = (self._recon_sq[order]
+                                     if self.metric == "l2" else None)
+        self._packed_dirty = False
+
+    # -------------------------------------------------------------- mutation
+    def add(self, vectors) -> np.ndarray:
+        """Append vectors: each is assigned to its nearest cell, and a full
+        retrain triggers once the biggest cell grows past
+        ``retrain_imbalance`` times the mean.  Returns the new ids."""
+        ids = self._exact.add(vectors)
+        rows = self._scorable_rows(ids)
+        cells = _assign_cells(rows, self._centroids)
+        self._cell_of = np.concatenate([self._cell_of, cells])
+        self._counts = np.bincount(self._cell_of, minlength=self.n_cells)
+        if self._pq is not None:
+            residuals = rows - self._centroids[cells]
+            self._codes = np.concatenate(
+                [self._codes, self._pq.encode(residuals)])
+            self._refresh_recon_sq()
+        self._packed_dirty = True
+        n = self.num_vectors
+        if (self.n_cells > 1 and n >= self.n_cells
+                and self._counts.max()
+                > self.retrain_imbalance * (n / self.n_cells)):
+            self._retrain()
+        return ids
+
+    def update(self, node: int, vector) -> None:
+        """Replace one stored vector and move it to its new nearest cell."""
+        self._exact.update(node, vector)
+        row = self._scorable_rows([int(node)])
+        self._cell_of[int(node)] = _assign_cells(row, self._centroids)[0]
+        self._counts = np.bincount(self._cell_of, minlength=self.n_cells)
+        if self._pq is not None:
+            residual = row - self._centroids[self._cell_of[int(node)]]
+            self._codes[int(node)] = self._pq.encode(residual)[0]
+            self._refresh_recon_sq()
+        self._packed_dirty = True
+
+    # ----------------------------------------------------------- persistence
+    def _meta(self) -> dict:
+        return {
+            "format_version": IVF_FORMAT_VERSION,
+            "metric": self.metric,
+            "n_cells": int(self.n_cells),
+            "nprobe": int(self.nprobe),
+            "seed": self.seed,
+            "chunk_rows": int(self.chunk_rows),
+            "train_iters": self.train_iters,
+            "train_sample": self.train_sample,
+            "retrain_imbalance": self.retrain_imbalance,
+            "retrains": int(self.retrains),
+            "pq_m": None if self._pq is None else self._pq.pq_m,
+            "pq_bits": None if self._pq is None else self._pq.pq_bits,
+            "rerank": self.rerank,
+        }
+
+    def save(self, path: str) -> str:
+        """Atomically write the full index state (vectors, centroids, cell
+        assignments, PQ codes) with a content checksum; the trained coarse
+        quantiser is persisted, not retrained, so a reload answers queries
+        byte-identically.  Returns the path written."""
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        arrays = {
+            "vectors": np.ascontiguousarray(self._exact._vectors),
+            "centroids": self._centroids,
+            "cell_of": self._cell_of,
+        }
+        if self._pq is not None:
+            arrays["pq_codes"] = self._codes
+            arrays["pq_codebooks"] = self._pq.codebooks
+        meta_json = json.dumps(self._meta(), sort_keys=True)
+        checksum = payload_checksum(arrays, meta=meta_json)
+
+        def stage(temp):
+            with open(temp, "wb") as handle:
+                np.savez_compressed(handle, meta_json=np.array(meta_json),
+                                    checksum=np.array(checksum), **arrays)
+
+        atomic_replace(path, stage)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "IVFIndex":
+        """Rebuild an index saved by :meth:`save`, verifying its checksum.
+
+        Undecodable archives and checksum mismatches raise
+        :class:`~repro.resilience.CheckpointCorruptError`; a well-formed
+        archive of some other kind raises ``ValueError``.
+        """
+        foreign = corrupt = None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                foreign = ("meta_json" not in archive
+                           or "cell_of" not in archive)
+                if not foreign:
+                    meta = json.loads(str(archive["meta_json"]))
+                    arrays = {key: archive[key] for key in archive.files
+                              if key not in ("meta_json", "checksum")}
+                    expected = payload_checksum(
+                        arrays, meta=json.dumps(meta, sort_keys=True))
+                    if ("checksum" not in archive
+                            or str(archive["checksum"]) != expected):
+                        corrupt = "fails its content checksum"
+        except FileNotFoundError:
+            raise
+        except Exception as error:
+            raise CheckpointCorruptError(
+                f"IVF index archive {path} cannot be decoded ({error}); the "
+                "file is likely truncated by an interrupted write or "
+                "corrupted on disk — rebuild it from the embeddings"
+            ) from error
+        if foreign:
+            raise ValueError(f"{path} is not an IVF index archive")
+        if corrupt is not None:
+            raise CheckpointCorruptError(
+                f"IVF index archive {path} {corrupt}; the bytes on disk no "
+                "longer match what was written — rebuild it from the "
+                "embeddings")
+        if meta["format_version"] > IVF_FORMAT_VERSION:
+            raise ValueError(
+                f"IVF archive format {meta['format_version']} is newer than "
+                f"supported ({IVF_FORMAT_VERSION})")
+
+        index = cls.__new__(cls)
+        index._exact = EmbeddingIndex(arrays["vectors"],
+                                      metric=meta["metric"],
+                                      chunk_rows=meta["chunk_rows"])
+        index.seed = meta["seed"]
+        index.n_cells = meta["n_cells"]
+        index.nprobe = meta["nprobe"]
+        index.train_iters = meta["train_iters"]
+        index.train_sample = meta["train_sample"]
+        index.retrain_imbalance = meta["retrain_imbalance"]
+        index.rerank = meta["rerank"]
+        index.retrains = meta["retrains"]
+        index._centroids = np.ascontiguousarray(arrays["centroids"],
+                                                dtype=np.float32)
+        index._cent_sq = np.einsum("ij,ij->i", index._centroids,
+                                   index._centroids)
+        index._cell_of = np.ascontiguousarray(arrays["cell_of"],
+                                              dtype=np.int64)
+        index._counts = np.bincount(index._cell_of, minlength=index.n_cells)
+        if meta["pq_m"] is not None:
+            index._pq = _ProductQuantizer(index.dim, meta["pq_m"],
+                                          meta["pq_bits"])
+            index._pq.codebooks = np.ascontiguousarray(
+                arrays["pq_codebooks"], dtype=np.float32)
+            index._codes = np.ascontiguousarray(arrays["pq_codes"],
+                                                dtype=np.uint8)
+            index._refresh_recon_sq()
+        else:
+            index._pq = None
+            index._codes = None
+            index._recon_sq = None
+        index._packed_dirty = True
+        index.build_seconds = 0.0
+        return index
+
+    # --------------------------------------------------------------- search
+    def _coarse_scores(self, queries: np.ndarray) -> np.ndarray:
+        """(q, n_cells) cell-ranking scores under the index metric."""
+        block = queries @ self._centroids.T
+        if self.metric == "l2":
+            return 2.0 * block - self._cent_sq
+        return block
+
+    def _ranked_cells(self, coarse: np.ndarray, nprobe: int) -> np.ndarray:
+        """Top-``nprobe`` cells per query, ordered (score desc, cell asc)."""
+        if nprobe >= coarse.shape[1]:
+            picked = np.broadcast_to(np.arange(coarse.shape[1]),
+                                     coarse.shape).copy()
+        else:
+            picked = np.argpartition(-coarse, nprobe - 1,
+                                     axis=1)[:, :nprobe]
+        picked_scores = np.take_along_axis(coarse, picked, axis=1)
+        order = np.lexsort((picked, -picked_scores), axis=1)
+        return np.take_along_axis(picked, order, axis=1)
+
+    def search(self, queries, topk: int = 10, exclude=None,
+               nprobe: int = None) -> tuple:
+        """Approximate top-``k``: same signature and semantics as
+        :meth:`EmbeddingIndex.search`, plus a per-call ``nprobe`` override.
+
+        Guarantees: ``k`` real ids per row whenever the index holds enough
+        vectors (cell probing escalates for queries whose probed cells are
+        too small), canonical score values for every returned id, and the
+        deterministic tie rule over everything the scan ranked.
+        """
+        raw_queries = queries
+        queries = self._exact._prepare_queries(queries)
+        if topk < 0:
+            raise ValueError("topk must be >= 0")
+        nprobe = self.nprobe if nprobe is None else int(nprobe)
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        num_queries = queries.shape[0]
+        n = self.num_vectors
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.int64)
+            if exclude.shape != (num_queries,):
+                raise ValueError("exclude must hold one node id per query")
+        k = min(int(topk), n - (1 if exclude is not None else 0))
+        if k <= 0:
+            return (np.empty((num_queries, 0), dtype=np.int64),
+                    np.empty((num_queries, 0), dtype=np.float32))
+        required = min(n, k + (1 if exclude is not None else 0))
+        if nprobe >= self.n_cells or required >= n:
+            # Probing every cell is by definition the exact scan; delegate so
+            # the answer is bit-identical to the exact tier.
+            return self._exact.search(raw_queries, topk=topk, exclude=exclude)
+
+        self._ensure_packed()
+        if self.metric == "cosine":
+            queries = _normalize_rows(queries)
+        coarse = self._coarse_scores(queries)
+        cells = self._ranked_cells(coarse, nprobe)
+
+        # Queries whose nprobe cells hold too few members escalate down the
+        # full cell ranking until `required` candidates are reachable; rows
+        # stay rectangular by giving escalated queries their own ragged scan.
+        totals = self._counts[cells].sum(axis=1)
+        short_rows = np.flatnonzero(totals < required)
+        ragged = {}
+        for row in short_rows:
+            full_rank = np.lexsort((np.arange(self.n_cells), -coarse[row]))
+            reach = np.cumsum(self._counts[full_rank])
+            needed = int(np.searchsorted(reach, required)) + 1
+            ragged[int(row)] = full_rank[:needed]
+
+        ids, rank_scores = self._scan(queries, coarse, cells, ragged, k,
+                                      exclude)
+        order = np.lexsort((ids, -rank_scores), axis=1)
+        ids = np.take_along_axis(ids, order, axis=1)
+        return ids, self._exact._pair_scores_prepared(queries, ids)
+
+    def _scan(self, queries, coarse, cells, ragged, k, exclude) -> tuple:
+        """Score every candidate of every query's probed cells and keep the
+        per-row top-``k`` under the tie rule.  Returns ``(ids, ranking
+        scores)`` unsorted within rows."""
+        num_queries, nprobe = cells.shape
+        sizes = self._counts[cells]
+        for row, row_cells in ragged.items():
+            sizes[row] = 0                       # scanned separately below
+        offsets = np.concatenate(
+            [np.zeros((num_queries, 1), dtype=np.int64),
+             np.cumsum(sizes, axis=1)], axis=1)
+        ragged_width = max((self._counts[rc].sum() for rc in ragged.values()),
+                           default=0)
+        width = max(int(offsets[:, -1].max()), int(ragged_width), k)
+        score_mat = np.full((num_queries, width), -np.inf, dtype=np.float32)
+        id_mat = np.full((num_queries, width), self.num_vectors,
+                         dtype=np.int64)
+
+        if self.metric == "l2":
+            q_sq = np.einsum("ij,ij->i", queries, queries)
+
+        def cell_block(rows, cell):
+            a, b = self._starts[cell], self._starts[cell + 1]
+            block = queries[rows] @ self._packed[a:b].T
+            if self.metric == "l2":
+                block = 2.0 * block
+                block -= self._packed_sq[a:b][None, :]
+                block -= q_sq[rows, None]
+            return block, self._packed_ids[a:b]
+
+        def pq_block(rows, cell, luts):
+            a, b = self._starts[cell], self._starts[cell + 1]
+            codes = self._packed_codes[a:b]
+            contrib = luts[rows][:, np.arange(self._pq.pq_m)[None, :],
+                                 codes].sum(axis=-1)
+            if self.metric == "l2":
+                centroid_dot = 0.5 * (coarse[rows, cell]
+                                      + self._cent_sq[cell])
+                approx = 2.0 * (centroid_dot[:, None] + contrib)
+                approx -= self._packed_recon_sq[a:b][None, :]
+                approx -= q_sq[rows, None]
+            else:
+                approx = coarse[rows, cell][:, None] + contrib
+            return approx.astype(np.float32), self._packed_ids[a:b]
+
+        luts = (self._pq.query_tables(queries)
+                if self._pq is not None else None)
+
+        # Group the (query, rank) probe pairs by cell: each probed cell is
+        # scored for all its probing queries in one GEMM (or one code-table
+        # gather), so scan cost has no per-query Python component.
+        flat = cells.ravel()
+        grouping = np.argsort(flat, kind="stable")
+        bounds = np.searchsorted(flat[grouping], np.arange(self.n_cells + 1))
+        for cell in np.unique(flat):
+            if self._starts[cell] == self._starts[cell + 1]:
+                continue
+            group = grouping[bounds[cell]:bounds[cell + 1]]
+            rows = group // nprobe
+            keep = np.array([row not in ragged for row in rows.tolist()]) \
+                if ragged else slice(None)
+            rows, ranks = rows[keep], (group % nprobe)[keep]
+            if rows.size == 0:
+                continue
+            block, members = (pq_block(rows, cell, luts)
+                              if self._pq is not None
+                              else cell_block(rows, cell))
+            columns = offsets[rows, ranks][:, None] + np.arange(members.size)
+            score_mat[rows[:, None], columns] = block
+            id_mat[rows[:, None], columns] = members
+
+        for row, row_cells in ragged.items():
+            filled = 0
+            for cell in row_cells:
+                if self._starts[cell] == self._starts[cell + 1]:
+                    continue
+                block, members = (pq_block(np.array([row]), cell, luts)
+                                  if self._pq is not None
+                                  else cell_block(np.array([row]), cell))
+                score_mat[row, filled:filled + members.size] = block[0]
+                id_mat[row, filled:filled + members.size] = members
+                filled += members.size
+
+        if exclude is not None:
+            score_mat[id_mat == exclude[:, None]] = -np.inf
+
+        if self._pq is not None:
+            return self._rerank_shortlist(queries, score_mat, id_mat, k)
+        return self._select_topk(score_mat, id_mat, k)
+
+    @staticmethod
+    def _select_topk(score_mat, id_mat, k) -> tuple:
+        """Per-row top-``k`` with the exact tie rule: vectorised
+        ``argpartition``, then a full lexsort only for rows whose boundary
+        score is tied beyond the selection."""
+        k = min(k, score_mat.shape[1])
+        if k == score_mat.shape[1]:
+            picked = np.broadcast_to(np.arange(k), score_mat.shape).copy()
+        else:
+            picked = np.argpartition(-score_mat, k - 1, axis=1)[:, :k]
+        sel_scores = np.take_along_axis(score_mat, picked, axis=1)
+        sel_ids = np.take_along_axis(id_mat, picked, axis=1)
+        boundary = sel_scores.min(axis=1)
+        tied_all = (score_mat == boundary[:, None]).sum(axis=1)
+        tied_sel = (sel_scores == boundary[:, None]).sum(axis=1)
+        for row in np.flatnonzero(tied_all > tied_sel):
+            order = np.lexsort((id_mat[row], -score_mat[row]))[:k]
+            sel_scores[row] = score_mat[row, order]
+            sel_ids[row] = id_mat[row, order]
+        return sel_ids, sel_scores
+
+    def _rerank_shortlist(self, queries, approx_scores, id_mat, k) -> tuple:
+        """PQ path: shortlist by approximate scores, then exact float32
+        ranking scores over the shortlist."""
+        shortlist = min(approx_scores.shape[1],
+                        max(self.rerank or 8 * k, k))
+        short_ids, _ = self._select_topk(approx_scores, id_mat, shortlist)
+        # Rows with fewer candidates than `shortlist` carry the sentinel id
+        # (== num_vectors); gather through a clipped view, then restore the
+        # sentinel slots to -inf before the final cut.
+        padded = short_ids == self.num_vectors
+        safe_ids = np.minimum(short_ids, self.num_vectors - 1)
+        gathered = self._exact._scorable[safe_ids]
+        exact_scores = np.einsum("qrd,qd->qr", gathered, queries,
+                                 optimize=True)
+        if self.metric == "l2":
+            exact_scores = (2.0 * exact_scores
+                            - self._exact._sq_norms[safe_ids]
+                            - np.einsum("ij,ij->i", queries,
+                                        queries)[:, None])
+        exact_scores[padded] = -np.inf
+        return self._select_topk(exact_scores, short_ids, k)
+
+    def search_ids(self, node_ids, topk: int = 10,
+                   exclude_self: bool = True, nprobe: int = None) -> tuple:
+        """Top-``k`` neighbors of nodes already in the index."""
+        node_ids = np.asarray(node_ids, dtype=np.int64).ravel()
+        if node_ids.size and (node_ids.min() < 0
+                              or node_ids.max() >= self.num_vectors):
+            raise IndexError("node id out of range")
+        return self.search(
+            self._exact._vectors[node_ids], topk=topk,
+            exclude=node_ids if exclude_self else None, nprobe=nprobe,
+        )
+
+    def __repr__(self) -> str:
+        pq = (f", pq_m={self._pq.pq_m}, pq_bits={self._pq.pq_bits}"
+              if self._pq is not None else "")
+        return (f"IVFIndex(metric={self.metric!r}, "
+                f"vectors={self.num_vectors}, dim={self.dim}, "
+                f"n_cells={self.n_cells}, nprobe={self.nprobe}, "
+                f"seed={self.seed}{pq})")

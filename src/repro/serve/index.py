@@ -5,8 +5,17 @@ The index answers batched top-k queries under dot product, cosine, or
 pruning — but memory-bounded: the index matrix is held once in ``float32``
 and every query batch is scored against it in row chunks, so the transient
 score block is ``queries x chunk`` instead of ``queries x n``.  Ties are
-broken deterministically (higher score first, then lower node id), so
-results are reproducible across chunk sizes and platforms.
+broken deterministically (higher score first, then lower node id).
+
+Ranking runs on float32 GEMM blocks; the *returned* scores are recomputed by
+the canonical pair scorer (:meth:`EmbeddingIndex.pair_scores`): per-pair
+float64 accumulation over each vector's own contiguous axis, whose result is
+independent of chunk size, batch composition, and BLAS blocking.  BLAS GEMMs
+are not bitwise shape-stable (gathering a row subset can flip last-ULP bits),
+so without this recomputation two indexes over the same data could disagree
+on returned score bytes; with it, the approximate tier
+(:class:`~repro.serve.ann.IVFIndex`) returns byte-identical scores to this
+exact index for every id both tiers surface.
 """
 
 from __future__ import annotations
@@ -14,6 +23,12 @@ from __future__ import annotations
 import time
 
 import numpy as np
+
+from repro.resilience.integrity import (
+    CheckpointCorruptError,
+    atomic_replace,
+    payload_checksum,
+)
 
 #: Supported similarity metrics.  Scores are "higher is better" for all
 #: three; ``l2`` reports the *negative squared* Euclidean distance.
@@ -159,29 +174,72 @@ class EmbeddingIndex:
         rows (unit norms, squared norms) are recomputed on load from the same
         float32 vectors by the same routines, hence bit-identical.
 
-        Returns the path actually written (``numpy.savez`` appends ``.npz``).
+        The write is atomic (staged + ``os.replace``) and carries a content
+        checksum that :meth:`load` verifies, so a killed save leaves the
+        previous archive intact and silent corruption is detected instead of
+        served.  Returns the path actually written (``numpy.savez`` appends
+        ``.npz``).
         """
         if not path.endswith(".npz"):
             path = path + ".npz"
-        np.savez_compressed(
-            path,
-            vectors=self._vectors,
-            metric=np.array(self.metric),
-            chunk_rows=np.int64(self.chunk_rows),
-        )
+        vectors = np.ascontiguousarray(self._vectors)
+        checksum = payload_checksum({"vectors": vectors},
+                                    meta=f"{self.metric}:{self.chunk_rows}")
+
+        def stage(temp):
+            with open(temp, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    vectors=vectors,
+                    metric=np.array(self.metric),
+                    chunk_rows=np.int64(self.chunk_rows),
+                    checksum=np.array(checksum),
+                )
+
+        atomic_replace(path, stage)
         return path
 
     @classmethod
     def load(cls, path: str) -> "EmbeddingIndex":
-        """Rebuild an index saved by :meth:`save`."""
-        with np.load(path, allow_pickle=False) as archive:
-            if "vectors" not in archive or "metric" not in archive:
-                raise ValueError(f"{path} is not an embedding-index archive")
-            metric = str(archive["metric"])
-            if metric not in METRICS:
-                raise ValueError(f"archive has unknown metric {metric!r}")
-            return cls(archive["vectors"], metric=metric,
-                       chunk_rows=int(archive.get("chunk_rows", DEFAULT_CHUNK_ROWS)))
+        """Rebuild an index saved by :meth:`save`.
+
+        Undecodable archives and checksum mismatches raise
+        :class:`~repro.resilience.CheckpointCorruptError`; a well-formed
+        archive that is not an embedding index raises ``ValueError``.
+        """
+        foreign = reason = None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                foreign = "vectors" not in archive or "metric" not in archive
+                if not foreign:
+                    metric = str(archive["metric"])
+                    vectors = np.ascontiguousarray(archive["vectors"])
+                    chunk_rows = int(archive.get("chunk_rows",
+                                                 DEFAULT_CHUNK_ROWS))
+                    if "checksum" in archive:  # absent in pre-PR7 archives
+                        expected = payload_checksum(
+                            {"vectors": vectors},
+                            meta=f"{metric}:{chunk_rows}")
+                        if str(archive["checksum"]) != expected:
+                            reason = "fails its content checksum"
+        except FileNotFoundError:
+            raise
+        except Exception as error:
+            raise CheckpointCorruptError(
+                f"index archive {path} cannot be decoded ({error}); the file "
+                "is likely truncated by an interrupted write or corrupted on "
+                "disk — rebuild it from the embeddings"
+            ) from error
+        if foreign:
+            raise ValueError(f"{path} is not an embedding-index archive")
+        if reason is not None:
+            raise CheckpointCorruptError(
+                f"index archive {path} {reason}; the bytes on disk no longer "
+                "match what was written — rebuild it from the embeddings"
+            )
+        if metric not in METRICS:
+            raise ValueError(f"archive has unknown metric {metric!r}")
+        return cls(vectors, metric=metric, chunk_rows=chunk_rows)
 
     # --------------------------------------------------------------- scoring
     def _prepare_queries(self, queries) -> np.ndarray:
@@ -209,9 +267,50 @@ class EmbeddingIndex:
             block -= q_sq[:, None]
         return block
 
+    def pair_scores(self, queries, ids) -> np.ndarray:
+        """Canonical metric scores of query ``i`` against nodes ``ids[i]``.
+
+        ``ids`` is ``(q, k)``; the result is the matching ``(q, k)``
+        ``float32`` block.  Each score is accumulated in float64 over the
+        pair's own contiguous axis (numpy pairwise summation), so the value
+        depends only on the two vectors — not on chunking, batching, or
+        which other candidates were scored alongside.  This is the arithmetic
+        behind every score :meth:`search` returns, in the exact and the IVF
+        tier alike, which is what makes returned scores byte-comparable
+        across tiers and configurations.
+        """
+        queries = self._prepare_queries(queries)
+        if self.metric == "cosine":
+            queries = _normalize_rows(queries)
+        return self._pair_scores_prepared(queries, ids)
+
+    def _pair_scores_prepared(self, queries: np.ndarray, ids) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2 or ids.shape[0] != queries.shape[0]:
+            raise ValueError(
+                f"ids must have shape ({queries.shape[0]}, k), got {ids.shape}")
+        out = np.empty(ids.shape, dtype=np.float32)
+        if ids.size == 0:
+            return out
+        # Row-blocked so the transient (rows, k, d) float64 stack stays small
+        # even for topk ~ n requests.
+        block_rows = max(1, (1 << 22) // max(1, ids.shape[1] * self.dim))
+        for start in range(0, ids.shape[0], block_rows):
+            stop = min(start + block_rows, ids.shape[0])
+            gathered = self._scorable[ids[start:stop]].astype(np.float64)
+            q64 = queries[start:stop].astype(np.float64)
+            scores = (gathered * q64[:, None, :]).sum(axis=-1)
+            if self.metric == "l2":
+                v_sq = (gathered ** 2).sum(axis=-1)
+                q_sq = (q64 ** 2).sum(axis=-1)
+                scores = 2.0 * scores - v_sq - q_sq[:, None]
+            out[start:stop] = scores.astype(np.float32)
+        return out
+
     def scores(self, queries) -> np.ndarray:
-        """Full ``(q, n)`` score matrix (the brute-force reference; use
-        :meth:`search` for memory-bounded top-k)."""
+        """Full ``(q, n)`` float32-GEMM score matrix (the brute-force
+        *ranking* reference; use :meth:`search` for memory-bounded top-k and
+        :meth:`pair_scores` for canonical score values)."""
         queries = self._prepare_queries(queries)
         if self.metric == "cosine":
             queries = _normalize_rows(queries)
@@ -237,19 +336,21 @@ class EmbeddingIndex:
         queries:
             ``(q, d)`` vector batch (or one ``(d,)`` vector).
         topk:
-            Neighbors per query (clipped to the index size).
+            Neighbors per query (clipped to the index size; ``0`` is a valid
+            request and returns ``(q, 0)`` results).
         exclude:
             Optional ``(q,)`` node ids masked out of their own query's
             results (self-exclusion for node-to-node queries).
 
         Returns
         -------
-        ``(ids, scores)`` with shapes ``(q, k)``; ids are ``int64`` and rows
-        are ordered best-first under the deterministic tie rule.
+        ``(ids, scores)`` with shapes ``(q, k)``; ids are ``int64``, rows are
+        ordered best-first under the deterministic tie rule, and scores are
+        the canonical :meth:`pair_scores` values.
         """
         queries = self._prepare_queries(queries)
-        if topk < 1:
-            raise ValueError("topk must be >= 1")
+        if topk < 0:
+            raise ValueError("topk must be >= 0")
         if self.metric == "cosine":
             queries = _normalize_rows(queries)
         num_queries = queries.shape[0]
@@ -282,7 +383,7 @@ class EmbeddingIndex:
             merged_ids = np.concatenate(
                 [best_ids, np.ascontiguousarray(chunk_ids)], axis=1)
             best_scores, best_ids = self._top_rows(merged_scores, merged_ids, k)
-        return best_ids, best_scores
+        return best_ids, self._pair_scores_prepared(queries, best_ids)
 
     def search_ids(self, node_ids, topk: int = 10, exclude_self: bool = True) -> tuple:
         """Top-``k`` neighbors of nodes already in the index."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.resilience.faults import fault_check
+from repro.serve.ann import IVFIndex
 from repro.serve.checkpoint import Checkpoint
 from repro.serve.index import EmbeddingIndex
 from repro.serve.inductive import InductiveEncoder
@@ -117,6 +118,14 @@ class EmbeddingService:
     default_topk, cache_size, max_batch:
         Serving knobs: neighbors per query, LRU capacity (0 disables), and
         the micro-batch flush threshold.
+    index_kind:
+        ``'exact'`` (default) serves brute-force answers;  ``'ivf'`` puts
+        the approximate :class:`~repro.serve.ann.IVFIndex` tier in front —
+        same interface, same returned-score arithmetic, but only the best
+        ``nprobe`` coarse cells are scanned per query.
+    index_options:
+        Extra keyword arguments for the index constructor (e.g.
+        ``n_cells`` / ``nprobe`` / ``seed`` for ``'ivf'``).
     deadline_s:
         Per-search deadline in seconds (``None`` disables).  A search that
         takes longer still returns its full answer — exact search has no
@@ -130,13 +139,17 @@ class EmbeddingService:
     def __init__(self, checkpoint, graph=None, metric: str = "cosine",
                  default_topk: int = 10, cache_size: int = 1024,
                  max_batch: int = 64, verify: bool = True, seed: int = 0,
-                 deadline_s: float = None):
+                 deadline_s: float = None, index_kind: str = "exact",
+                 index_options: dict = None):
         if isinstance(checkpoint, str):
             checkpoint = Checkpoint.load(checkpoint)
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be None or positive")
+        if index_kind not in ("exact", "ivf"):
+            raise ValueError(
+                f"index_kind must be 'exact' or 'ivf', got {index_kind!r}")
         self.checkpoint = checkpoint
         self.graph = graph
         if graph is not None and verify:
@@ -145,7 +158,10 @@ class EmbeddingService:
         self.default_topk = int(default_topk)
         self.max_batch = int(max_batch)
         self.deadline_s = deadline_s
-        self.index = EmbeddingIndex(checkpoint.embeddings, metric=metric)
+        self.index_kind = index_kind
+        index_cls = IVFIndex if index_kind == "ivf" else EmbeddingIndex
+        self.index = index_cls(checkpoint.embeddings, metric=metric,
+                               **(index_options or {}))
         self._cache = _LRUCache(cache_size)
         self._pending = []
         self._seed = seed
@@ -429,6 +445,7 @@ class EmbeddingService:
             "cache_misses": self._cache.misses,
             "cache_entries": len(self._cache),
             "index_vectors": self.index.num_vectors,
+            "index_kind": self.index_kind,
             "scorer_refreshes": self._scorer_refreshes,
             "scorers_stale": self._scorers_stale,
             "metric": self.metric,

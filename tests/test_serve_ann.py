@@ -1,0 +1,447 @@
+"""IVFIndex property harness: the approximate tier's contract, pinned down.
+
+Approximate search is the first subsystem allowed to return different *ids*
+than a reference — so everything that is NOT allowed to differ is asserted
+bit-exactly here: full-probe answers equal the exact index, same-seed builds
+are byte-identical, every returned score is the canonical pair score, ties
+break deterministically, and persistence round-trips to the byte.  What may
+differ (which ids surface under partial probing) is bounded by a fixed-seed
+recall gate so quantiser regressions fail CI without the 100k bench.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    METRICS,
+    CheckpointCorruptError,
+    EmbeddingIndex,
+    IVFIndex,
+    synthetic_clustered_embeddings,
+)
+from repro.serve.ann import _seeded_kmeans, default_n_cells
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    """Small clustered set: the geometry IVF is built for."""
+    vectors, queries = synthetic_clustered_embeddings(
+        600, 24, num_clusters=12, seed=3, queries=32)
+    return vectors, queries
+
+
+@pytest.fixture(scope="module")
+def recall_fixture():
+    """The ~5k fixed-seed set behind the recall regression gate."""
+    return synthetic_clustered_embeddings(5000, 32, seed=11, queries=128)
+
+
+def _recall(approx_ids, exact_ids, k):
+    return float(np.mean([
+        len(set(approx_ids[row, :k].tolist())
+            & set(exact_ids[row, :k].tolist()))
+        for row in range(exact_ids.shape[0])])) / k
+
+
+class TestExactEquivalence:
+    """Property (a): nprobe = n_cells ⇒ bit-identical to the exact index."""
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("n_cells", [1, 7, 32])
+    def test_full_probe_bit_identical(self, clustered, metric, n_cells):
+        vectors, queries = clustered
+        exact = EmbeddingIndex(vectors, metric=metric)
+        ivf = IVFIndex(vectors, metric=metric, n_cells=n_cells,
+                       nprobe=n_cells)
+        exact_ids, exact_scores = exact.search(queries, topk=9)
+        ivf_ids, ivf_scores = ivf.search(queries, topk=9)
+        np.testing.assert_array_equal(ivf_ids, exact_ids)
+        assert ivf_scores.tobytes() == exact_scores.tobytes()
+
+    @pytest.mark.parametrize("dim", [4, 24])
+    def test_full_probe_override_bit_identical(self, dim):
+        """A partial-probe index answers exactly when one call overrides
+        nprobe to the cell count."""
+        vectors, queries = synthetic_clustered_embeddings(
+            300, dim, num_clusters=6, seed=5, queries=16)
+        exact = EmbeddingIndex(vectors, metric="cosine")
+        ivf = IVFIndex(vectors, metric="cosine", n_cells=16, nprobe=2)
+        exact_ids, exact_scores = exact.search(queries, topk=5)
+        ivf_ids, ivf_scores = ivf.search(queries, topk=5, nprobe=16)
+        np.testing.assert_array_equal(ivf_ids, exact_ids)
+        assert ivf_scores.tobytes() == exact_scores.tobytes()
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_full_probe_search_ids_with_exclusion(self, clustered, metric):
+        vectors, _ = clustered
+        exact = EmbeddingIndex(vectors, metric=metric)
+        ivf = IVFIndex(vectors, metric=metric, n_cells=8, nprobe=8)
+        nodes = np.arange(0, 600, 37)
+        exact_ids, exact_scores = exact.search_ids(nodes, topk=6)
+        ivf_ids, ivf_scores = ivf.search_ids(nodes, topk=6)
+        np.testing.assert_array_equal(ivf_ids, exact_ids)
+        assert ivf_scores.tobytes() == exact_scores.tobytes()
+
+
+class TestCanonicalScores:
+    """Property (c): every returned score equals the exact tier's canonical
+    pair score for that (query, id) — only *which* ids surface may differ."""
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("nprobe", [1, 2, 4])
+    def test_partial_probe_scores_are_exact_values(self, clustered, metric,
+                                                   nprobe):
+        vectors, queries = clustered
+        exact = EmbeddingIndex(vectors, metric=metric)
+        ivf = IVFIndex(vectors, metric=metric, n_cells=24, nprobe=nprobe)
+        ids, scores = ivf.search(queries, topk=8)
+        assert scores.tobytes() == exact.pair_scores(queries, ids).tobytes()
+
+    def test_pq_scores_are_exact_values(self, clustered):
+        vectors, queries = clustered
+        exact = EmbeddingIndex(vectors, metric="cosine")
+        ivf = IVFIndex(vectors, metric="cosine", n_cells=24, nprobe=4,
+                       pq_m=8)
+        ids, scores = ivf.search(queries, topk=8)
+        assert scores.tobytes() == exact.pair_scores(queries, ids).tobytes()
+
+    def test_rows_obey_tie_rule(self, clustered):
+        """Rows come back score-descending with ties broken by lower id."""
+        vectors, queries = clustered
+        duplicated = np.repeat(vectors[:50], 3, axis=0)
+        ivf = IVFIndex(duplicated, metric="cosine", n_cells=6, nprobe=2,
+                       seed=1)
+        ids, scores = ivf.search(queries, topk=12)
+        for row in range(ids.shape[0]):
+            for col in range(1, ids.shape[1]):
+                assert (scores[row, col] < scores[row, col - 1]
+                        or (scores[row, col] == scores[row, col - 1]
+                            and ids[row, col] > ids[row, col - 1]))
+
+
+class TestDeterminism:
+    """Property (b): same seed ⇒ byte-identical assignments and answers."""
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_same_seed_byte_identical(self, clustered, metric):
+        vectors, queries = clustered
+        first = IVFIndex(vectors, metric=metric, n_cells=20, nprobe=3,
+                         seed=9)
+        second = IVFIndex(vectors, metric=metric, n_cells=20, nprobe=3,
+                          seed=9)
+        assert first._cell_of.tobytes() == second._cell_of.tobytes()
+        assert first._centroids.tobytes() == second._centroids.tobytes()
+        ids_a, scores_a = first.search(queries, topk=7)
+        ids_b, scores_b = second.search(queries, topk=7)
+        assert ids_a.tobytes() == ids_b.tobytes()
+        assert scores_a.tobytes() == scores_b.tobytes()
+
+    def test_replayed_mutations_byte_identical(self, clustered):
+        """The same add()/update() sequence reproduces the same index state,
+        including any retrains it triggered."""
+        vectors, queries = clustered
+
+        def build():
+            index = IVFIndex(vectors[:400], metric="cosine", n_cells=16,
+                             nprobe=4, seed=2, retrain_imbalance=1.5)
+            index.add(vectors[400:550])
+            index.update(3, vectors[590])
+            index.add(vectors[550:590])
+            return index
+
+        first, second = build(), build()
+        assert first.retrains == second.retrains
+        assert first._cell_of.tobytes() == second._cell_of.tobytes()
+        ids_a, scores_a = first.search(queries, topk=6)
+        ids_b, scores_b = second.search(queries, topk=6)
+        assert ids_a.tobytes() == ids_b.tobytes()
+        assert scores_a.tobytes() == scores_b.tobytes()
+
+    def test_kmeans_is_deterministic(self, rng):
+        rows = rng.standard_normal((200, 8)).astype(np.float32)
+        a = _seeded_kmeans(rows, 10, np.random.default_rng(4))
+        b = _seeded_kmeans(rows, 10, np.random.default_rng(4))
+        assert a.tobytes() == b.tobytes()
+        assert a.shape == (10, 8)
+
+
+class TestDegenerateInputs:
+    def test_fewer_vectors_than_cells(self, clustered):
+        """n < n_cells clips the cell count; answers stay exact (every
+        vector gets its own cell at most)."""
+        vectors, queries = clustered
+        ivf = IVFIndex(vectors[:5], metric="cosine", n_cells=64, nprobe=4)
+        assert ivf.n_cells <= 5
+        exact = EmbeddingIndex(vectors[:5], metric="cosine")
+        exact_ids, exact_scores = exact.search(queries, topk=10)
+        ids, scores = ivf.search(queries, topk=10)
+        assert ids.shape == (32, 5)
+        np.testing.assert_array_equal(ids, exact_ids)
+        assert scores.tobytes() == exact_scores.tobytes()
+
+    def test_single_cell_delegates_to_exact(self, clustered):
+        vectors, queries = clustered
+        ivf = IVFIndex(vectors, metric="l2", n_cells=1)
+        exact = EmbeddingIndex(vectors, metric="l2")
+        exact_ids, exact_scores = exact.search(queries, topk=4)
+        ids, scores = ivf.search(queries, topk=4)
+        np.testing.assert_array_equal(ids, exact_ids)
+        assert scores.tobytes() == exact_scores.tobytes()
+
+    def test_duplicate_vectors_everywhere(self, clustered):
+        """An index of pure duplicates must still return k distinct ids,
+        lowest first."""
+        _, queries = clustered
+        vectors = np.ones((30, 24), dtype=np.float32)
+        ivf = IVFIndex(vectors, metric="dot", n_cells=4, nprobe=1, seed=0)
+        ids, scores = ivf.search(queries[:3], topk=5)
+        for row in range(3):
+            assert len(set(ids[row].tolist())) == 5
+            np.testing.assert_array_equal(np.sort(ids[row]), ids[row])
+
+    def test_empty_index(self):
+        ivf = IVFIndex(np.empty((0, 8), dtype=np.float32), n_cells=4)
+        ids, scores = ivf.search(np.ones((2, 8)), topk=3)
+        assert ids.shape == (2, 0) and scores.shape == (2, 0)
+
+    def test_single_vector(self):
+        ivf = IVFIndex(np.ones((1, 8)), metric="cosine", n_cells=4)
+        ids, scores = ivf.search(np.ones((2, 8)), topk=3)
+        assert ids.shape == (2, 1)
+        np.testing.assert_array_equal(ids, [[0], [0]])
+
+    def test_escalation_covers_small_probed_cells(self, clustered):
+        """When the probed cells hold fewer than k members the search must
+        escalate to further cells instead of padding with bogus ids."""
+        vectors, queries = clustered
+        ivf = IVFIndex(vectors, metric="cosine", n_cells=100, nprobe=1,
+                       seed=0)
+        topk = int(ivf.cell_sizes.max()) + 5    # > any single cell
+        ids, scores = ivf.search(queries, topk=topk)
+        assert ids.shape == (32, topk)
+        for row in range(ids.shape[0]):
+            assert len(set(ids[row].tolist())) == topk
+        assert ids.max() < 600 and ids.min() >= 0
+
+    def test_invalid_parameters(self, clustered):
+        vectors, _ = clustered
+        with pytest.raises(ValueError):
+            IVFIndex(vectors, n_cells=0)
+        with pytest.raises(ValueError):
+            IVFIndex(vectors, nprobe=0)
+        with pytest.raises(ValueError):
+            IVFIndex(vectors, retrain_imbalance=1.0)
+        with pytest.raises(ValueError):
+            IVFIndex(vectors, pq_m=7)           # must divide dim=24... 7 no
+        with pytest.raises(ValueError):
+            IVFIndex(np.empty((0, 8), dtype=np.float32), pq_m=2)
+        ivf = IVFIndex(vectors, n_cells=8)
+        with pytest.raises(ValueError):
+            ivf.search(vectors[:2], nprobe=0)
+
+
+@pytest.mark.parametrize("tier", ["exact", "ivf"])
+class TestSharedEdgeCases:
+    """The latent top_k edge cases, parametrised over BOTH tiers: topk > n
+    clips, topk = 0 is a valid empty request, negative topk raises."""
+
+    def _build(self, tier, vectors, metric="cosine"):
+        if tier == "exact":
+            return EmbeddingIndex(vectors, metric=metric)
+        return IVFIndex(vectors, metric=metric, n_cells=6, nprobe=2, seed=0)
+
+    def test_topk_larger_than_index_clips(self, tier, clustered):
+        vectors, queries = clustered
+        index = self._build(tier, vectors[:9])
+        ids, scores = index.search(queries, topk=50)
+        assert ids.shape == (32, 9) and scores.shape == (32, 9)
+        for row in range(32):
+            assert set(ids[row].tolist()) == set(range(9))
+
+    def test_topk_zero_returns_empty(self, tier, clustered):
+        vectors, queries = clustered
+        index = self._build(tier, vectors)
+        ids, scores = index.search(queries, topk=0)
+        assert ids.shape == (32, 0) and scores.shape == (32, 0)
+        assert ids.dtype == np.int64 and scores.dtype == np.float32
+
+    def test_negative_topk_raises(self, tier, clustered):
+        vectors, queries = clustered
+        index = self._build(tier, vectors)
+        with pytest.raises(ValueError):
+            index.search(queries, topk=-1)
+
+    def test_exclusion_with_topk_at_size(self, tier, clustered):
+        vectors, _ = clustered
+        index = self._build(tier, vectors[:7])
+        ids, scores = index.search_ids([2, 5], topk=50)
+        assert ids.shape == (2, 6)
+        assert 2 not in ids[0] and 5 not in ids[1]
+        assert np.isfinite(scores).all()
+
+    def test_mismatched_query_dim_raises(self, tier, clustered):
+        vectors, _ = clustered
+        index = self._build(tier, vectors)
+        with pytest.raises(ValueError):
+            index.search(np.zeros((2, 5)), topk=3)
+
+
+class TestRecallGate:
+    """Fixed-seed recall regression gate (~5k vectors): everything here is
+    fully deterministic, so these are regression thresholds with real
+    margin, not flaky statistical tests.  Measured on this fixture:
+    nprobe=8 ⇒ recall@1 = 1.000, recall@10 = 0.981; nprobe=4 ⇒ 0.938/0.915."""
+
+    def test_recall_thresholds(self, recall_fixture):
+        vectors, queries = recall_fixture
+        exact = EmbeddingIndex(vectors, metric="cosine")
+        exact_ids, _ = exact.search(queries, topk=10)
+        ivf = IVFIndex(vectors, metric="cosine", seed=0, nprobe=8)
+        assert ivf.n_cells == default_n_cells(5000) == 283
+        ids, _ = ivf.search(queries, topk=10)
+        assert _recall(ids, exact_ids, 1) >= 0.97
+        assert _recall(ids, exact_ids, 10) >= 0.95
+
+    def test_recall_grows_with_nprobe(self, recall_fixture):
+        vectors, queries = recall_fixture
+        exact = EmbeddingIndex(vectors, metric="cosine")
+        exact_ids, _ = exact.search(queries, topk=10)
+        ivf = IVFIndex(vectors, metric="cosine", seed=0)
+        recalls = []
+        for nprobe in (1, 4, 16):
+            ids, _ = ivf.search(queries, topk=10, nprobe=nprobe)
+            recalls.append(_recall(ids, exact_ids, 10))
+        assert recalls[0] < recalls[1] < recalls[2]
+        assert recalls[2] >= 0.99
+
+    def test_pq_recall_with_rerank(self, recall_fixture):
+        """The compressed scan plus exact re-rank stays within a few recall
+        points of the uncompressed scan."""
+        vectors, queries = recall_fixture
+        exact = EmbeddingIndex(vectors, metric="cosine")
+        exact_ids, _ = exact.search(queries, topk=10)
+        pq = IVFIndex(vectors, metric="cosine", seed=0, nprobe=8, pq_m=8)
+        ids, _ = pq.search(queries, topk=10)
+        assert _recall(ids, exact_ids, 10) >= 0.90
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_round_trip_answers_byte_identically(self, clustered, metric,
+                                                 tmp_path):
+        vectors, queries = clustered
+        ivf = IVFIndex(vectors, metric=metric, n_cells=20, nprobe=3, seed=4)
+        path = ivf.save(str(tmp_path / "ivf"))
+        assert path.endswith(".npz")
+        loaded = IVFIndex.load(path)
+        assert loaded.n_cells == 20 and loaded.nprobe == 3
+        assert loaded._cell_of.tobytes() == ivf._cell_of.tobytes()
+        ids_a, scores_a = ivf.search(queries, topk=8)
+        ids_b, scores_b = loaded.search(queries, topk=8)
+        assert ids_a.tobytes() == ids_b.tobytes()
+        assert scores_a.tobytes() == scores_b.tobytes()
+
+    def test_round_trip_preserves_pq(self, clustered, tmp_path):
+        vectors, queries = clustered
+        ivf = IVFIndex(vectors, metric="l2", n_cells=12, nprobe=2, seed=4,
+                       pq_m=4)
+        loaded = IVFIndex.load(ivf.save(str(tmp_path / "pq")))
+        ids_a, scores_a = ivf.search(queries, topk=5)
+        ids_b, scores_b = loaded.search(queries, topk=5)
+        assert ids_a.tobytes() == ids_b.tobytes()
+        assert scores_a.tobytes() == scores_b.tobytes()
+
+    def test_round_trip_keeps_accepting_adds(self, clustered, tmp_path):
+        vectors, _ = clustered
+        ivf = IVFIndex(vectors[:500], metric="cosine", n_cells=10, seed=1)
+        loaded = IVFIndex.load(ivf.save(str(tmp_path / "grow")))
+        np.testing.assert_array_equal(loaded.add(vectors[500:503]),
+                                      [500, 501, 502])
+
+    def test_doctored_archive_raises_corrupt(self, clustered, tmp_path):
+        vectors, _ = clustered
+        ivf = IVFIndex(vectors, metric="cosine", n_cells=8, seed=0)
+        path = ivf.save(str(tmp_path / "victim"))
+        raw = bytearray(open(path, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(CheckpointCorruptError):
+            IVFIndex.load(path)
+
+    def test_truncated_archive_raises_corrupt(self, clustered, tmp_path):
+        vectors, _ = clustered
+        ivf = IVFIndex(vectors, metric="cosine", n_cells=8, seed=0)
+        path = ivf.save(str(tmp_path / "torn"))
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[:len(raw) // 3])
+        with pytest.raises(CheckpointCorruptError):
+            IVFIndex.load(path)
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="not an IVF index archive"):
+            IVFIndex.load(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            IVFIndex.load(str(tmp_path / "nope.npz"))
+
+
+class TestIncrementalAdds:
+    def test_added_vectors_become_searchable(self, clustered):
+        vectors, _ = clustered
+        ivf = IVFIndex(vectors[:500], metric="cosine", n_cells=16, nprobe=4,
+                       seed=0)
+        new_ids = ivf.add(vectors[500:510])
+        np.testing.assert_array_equal(new_ids, np.arange(500, 510))
+        assert ivf.num_vectors == 510
+        # A just-added vector is its own best match under cosine.
+        ids, _ = ivf.search(vectors[505:506], topk=1)
+        assert ids[0, 0] == 505
+
+    def test_imbalance_triggers_retrain(self, clustered, rng):
+        """Flooding one region past the imbalance factor forces a full
+        re-cluster that rebalances the cells."""
+        vectors, _ = clustered
+        ivf = IVFIndex(vectors, metric="cosine", n_cells=16, nprobe=4,
+                       seed=0, retrain_imbalance=2.0)
+        assert ivf.retrains == 0
+        hotspot = vectors[7] + 0.01 * rng.standard_normal(
+            (600, 24)).astype(np.float32)
+        ivf.add(hotspot)
+        assert ivf.retrains >= 1
+        # The re-cluster split the flooded region: before it, one cell held
+        # all 600 arrivals plus its original members.
+        assert ivf.cell_sizes.sum() == ivf.num_vectors
+        assert ivf.cell_sizes.max() < 600
+
+    def test_update_moves_vector_between_cells(self, clustered):
+        vectors, _ = clustered
+        ivf = IVFIndex(vectors, metric="cosine", n_cells=16, nprobe=16,
+                       seed=0)
+        # Replace node 0 with a copy of a far-away node's vector: full-probe
+        # search must now find it exactly where the exact tier does.
+        ivf.update(0, vectors[599])
+        exact = EmbeddingIndex(
+            np.vstack([vectors[599:600], vectors[1:]]), metric="cosine")
+        ids_a, scores_a = ivf.search(vectors[599:600], topk=3)
+        ids_b, scores_b = exact.search(vectors[599:600], topk=3)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        assert scores_a.tobytes() == scores_b.tobytes()
+
+
+class TestSyntheticGenerator:
+    def test_seeded_and_shaped(self):
+        a_vectors, a_queries = synthetic_clustered_embeddings(
+            100, 8, seed=1, queries=10)
+        b_vectors, b_queries = synthetic_clustered_embeddings(
+            100, 8, seed=1, queries=10)
+        assert a_vectors.shape == (100, 8) and a_queries.shape == (10, 8)
+        assert a_vectors.dtype == np.float32
+        assert a_vectors.tobytes() == b_vectors.tobytes()
+        assert a_queries.tobytes() == b_queries.tobytes()
+
+    def test_no_queries_by_default(self):
+        vectors, queries = synthetic_clustered_embeddings(50, 4, seed=0)
+        assert vectors.shape == (50, 4) and queries.shape == (0, 4)

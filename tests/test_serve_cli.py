@@ -70,6 +70,29 @@ class TestQueryCLI:
                 if line.strip().startswith("5 |")]
         assert rows and int(rows[0].split("|")[2]) == 5
 
+    def test_ivf_index_full_probe_matches_exact(self, pubmed_checkpoint,
+                                                capsys):
+        """--index ivf with nprobe = n-cells prints exactly what the exact
+        tier prints (the bit-identity property, through the CLI)."""
+        nodes = ["--node", "0", "--node", "11", "--node", "42"]
+        code = run(["query", "--checkpoint", pubmed_checkpoint,
+                    "--topk", "5"] + nodes)
+        assert code == 0
+        exact_out = capsys.readouterr().out
+        code = run(["query", "--checkpoint", pubmed_checkpoint,
+                    "--topk", "5", "--index", "ivf", "--n-cells", "16",
+                    "--nprobe", "16"] + nodes)
+        assert code == 0
+        assert capsys.readouterr().out == exact_out
+
+    def test_ivf_index_partial_probe_smoke(self, pubmed_checkpoint, capsys):
+        code = run(["query", "--checkpoint", pubmed_checkpoint,
+                    "--node", "3", "--topk", "4", "--index", "ivf",
+                    "--nprobe", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-4 neighbors" in out
+
 
 class TestServeBench:
     def test_report_records_required_numbers(self, small_graph):
@@ -88,14 +111,40 @@ class TestServeBench:
         output = tmp_path / "BENCH_serve.json"
         code = run(["bench", "--stage", "serve", "--dataset", "webkb-cornell",
                     "--scale", "0.4", "--epochs", "2", "--batch-size", "16",
-                    "--topk", "5", "--output", str(output)])
+                    "--topk", "5", "--ann-nodes", "0",
+                    "--output", str(output)])
         assert code == 0
         assert "serve bench" in capsys.readouterr().out
         with open(output) as handle:
             report = json.load(handle)
         assert report["benchmark"] == "serve"
         assert set(report["index"]) == set(METRICS)
+        assert "ann" not in report      # --ann-nodes 0 skips the section
         assert "timestamp" in report
+
+    def test_bench_records_ann_section(self, tmp_path, capsys):
+        """A small ANN sweep lands in the report with recall and speedup per
+        nprobe (the full-size numbers come from the default 100k run)."""
+        output = tmp_path / "BENCH_serve.json"
+        code = run(["bench", "--stage", "serve", "--dataset", "webkb-cornell",
+                    "--scale", "0.4", "--epochs", "2", "--batch-size", "16",
+                    "--topk", "5", "--ann-nodes", "3000", "--ann-dim", "16",
+                    "--ann-queries", "64", "--output", str(output)])
+        assert code == 0
+        assert "approximate search" in capsys.readouterr().out
+        with open(output) as handle:
+            ann = json.load(handle)["ann"]
+        assert ann["num_vectors"] == 3000
+        assert ann["exact"]["queries_per_s"] > 0
+        assert ann["n_cells"] > 0
+        nprobes = [entry["nprobe"] for entry in ann["ivf"]]
+        assert nprobes == sorted(nprobes) and len(nprobes) >= 3
+        for entry in ann["ivf"]:
+            assert 0.0 <= entry["recall_at_10"] <= 1.0
+            assert entry["queries_per_s"] > 0
+        # More probing can only improve recall on a fixed build.
+        recalls = [entry["recall_at_10"] for entry in ann["ivf"]]
+        assert recalls == sorted(recalls)
 
     def test_requires_dataset_or_graph(self):
         with pytest.raises(ValueError):

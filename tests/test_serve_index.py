@@ -30,7 +30,10 @@ class TestExactness:
         ids, scores = index.search(queries, topk=9)
         ref_ids, ref_scores = _bruteforce_topk(index, queries, 9)
         np.testing.assert_array_equal(ids, ref_ids)
-        np.testing.assert_array_equal(scores, ref_scores)
+        # Returned scores are the canonical pair values (chunk-independent),
+        # which track the float32 GEMM ranking scores to rounding error.
+        np.testing.assert_array_equal(scores, index.pair_scores(queries, ids))
+        np.testing.assert_allclose(scores, ref_scores, rtol=1e-4, atol=1e-4)
 
     @pytest.mark.parametrize("metric", METRICS)
     def test_self_is_top1_without_exclusion(self, vectors, metric):
@@ -136,11 +139,29 @@ class TestSemantics:
         with pytest.raises(ValueError):
             index.search(np.zeros((2, 5)), topk=3)
         with pytest.raises(ValueError):
-            index.search(vectors[:2], topk=0)
+            index.search(vectors[:2], topk=-1)
         with pytest.raises(IndexError):
             index.search_ids([999], topk=1)
         with pytest.raises(ValueError):
             index.add(np.zeros((1, 5)))
+
+    def test_topk_zero_is_a_valid_empty_request(self, vectors):
+        index = EmbeddingIndex(vectors)
+        ids, scores = index.search(vectors[:2], topk=0)
+        assert ids.shape == (2, 0) and scores.shape == (2, 0)
+        assert ids.dtype == np.int64 and scores.dtype == np.float32
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_pair_scores_match_search_scores(self, vectors, metric):
+        """The canonical scorer is the arithmetic behind returned scores and
+        is independent of which other ids are scored alongside."""
+        index = EmbeddingIndex(vectors, metric=metric, chunk_rows=13)
+        queries = vectors[5:17]
+        ids, scores = index.search(queries, topk=6)
+        np.testing.assert_array_equal(scores, index.pair_scores(queries, ids))
+        # Single-column gather equals the matching column of the full block.
+        one = index.pair_scores(queries, ids[:, 2:3])
+        np.testing.assert_array_equal(one[:, 0], scores[:, 2])
 
 
 class TestPersistence:
@@ -187,4 +208,15 @@ class TestPersistence:
         path = str(tmp_path / "other.npz")
         np.savez(path, something=np.zeros(3))
         with pytest.raises(ValueError, match="embedding-index archive"):
+            EmbeddingIndex.load(path)
+
+    def test_doctored_archive_raises_corrupt(self, vectors, tmp_path):
+        from repro.serve import CheckpointCorruptError
+
+        index = EmbeddingIndex(vectors, metric="dot")
+        path = index.save(str(tmp_path / "victim"))
+        raw = bytearray(open(path, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(CheckpointCorruptError):
             EmbeddingIndex.load(path)

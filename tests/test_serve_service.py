@@ -88,6 +88,52 @@ class TestQueries:
         assert result.neighbor_ids[0] == 0  # no self-exclusion for raw vectors
 
 
+class TestIVFIndexKind:
+    def test_full_probe_service_matches_exact_service(self, served,
+                                                      small_graph):
+        """index_kind='ivf' at nprobe = n_cells serves byte-identical
+        answers through the whole front door (cache, batching and all)."""
+        exact = EmbeddingService(served, graph=small_graph, metric="cosine",
+                                 seed=0)
+        ivf = EmbeddingService(served, graph=small_graph, metric="cosine",
+                               seed=0, index_kind="ivf",
+                               index_options={"n_cells": 8, "nprobe": 8})
+        assert ivf.stats()["index_kind"] == "ivf"
+        assert exact.stats()["index_kind"] == "exact"
+        for node in (0, 7, 31):
+            a = exact.query(node, topk=5)
+            b = ivf.query(node, topk=5)
+            np.testing.assert_array_equal(a.neighbor_ids, b.neighbor_ids)
+            assert a.scores.tobytes() == b.scores.tobytes()
+
+    def test_partial_probe_service_round_trip(self, served, small_graph):
+        service = EmbeddingService(served, graph=small_graph,
+                                   metric="cosine", seed=0,
+                                   index_kind="ivf",
+                                   index_options={"nprobe": 2})
+        result = service.query(3, topk=4)
+        assert len(result.neighbor_ids) == 4
+        assert 3 not in result.neighbor_ids
+        assert service.query(3, topk=4).cached
+
+    def test_inductive_adds_reach_the_ivf_index(self, served, small_graph,
+                                                rng):
+        service = EmbeddingService(served, graph=small_graph,
+                                   metric="cosine", seed=0,
+                                   index_kind="ivf",
+                                   index_options={"nprobe": 4})
+        before = service.index.num_vectors
+        attrs = rng.standard_normal((2, small_graph.num_attributes))
+        service.embed_new(attrs, [(0, before), (1, before + 1)])
+        assert service.index.num_vectors == before + 2
+        result = service.query(before, topk=3)
+        assert len(result.neighbor_ids) == 3
+
+    def test_unknown_index_kind_rejected(self, served):
+        with pytest.raises(ValueError, match="index_kind"):
+            EmbeddingService(served, index_kind="hnsw", verify=False)
+
+
 class TestMicroBatching:
     def test_submit_defers_until_flush(self, service):
         pending = service.submit(1, topk=3)

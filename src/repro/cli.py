@@ -130,6 +130,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
                              "against float64 (default float32)")
     parser.add_argument("--no-micro", action="store_true",
                         help="skip the vectorised-vs-reference microbenchmarks")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "numpy", "torch"],
+                        help="pipeline stage: compute backend for the timing "
+                             "fits (default auto; every other importable "
+                             "backend is compared automatically)")
     parser.add_argument("--ann-nodes", type=int, default=100_000,
                         help="serve stage: synthetic embedding count for the "
                              "exact-vs-IVF comparison (default 100000; 0 "
@@ -245,7 +250,10 @@ def run_bench(argv) -> int:
     report = run_pipeline_bench(
         dataset=args.dataset, scale=args.scale, seed=args.seed,
         epochs=args.epochs, batch_size=args.batch_size, micro=not args.no_micro,
+        backend=args.backend,
     )
+    print(f"[backend {report['backend']}, "
+          f"{report['blas_threads']} compute threads]")
     rows = []
     for name, stage in report["stages"].items():
         throughput = stage["throughput"]
@@ -254,6 +262,14 @@ def run_bench(argv) -> int:
     print(format_table(["stage", "seconds", "throughput"], rows,
                        title=f"pipeline bench ({report['dataset']}, "
                              f"scale {report['scale']})"))
+    comparison = report.get("backend_comparison", {})
+    if len(comparison) > 1:
+        rows = [[name,
+                 f"{entry['epoch_seconds']:.4f}" if entry["epoch_seconds"] else "-",
+                 f"{entry['speedup_vs_numpy']:.2f}x" if entry["speedup_vs_numpy"] else "-"]
+                for name, entry in comparison.items()]
+        print(format_table(["backend", "epoch seconds", "speedup vs numpy"],
+                           rows, title="backend comparison"))
     if "micro" in report:
         rows = [[name, f"{m['reference_s']:.4f}", f"{m['vectorized_s']:.4f}",
                  f"{m['speedup']:.1f}x" if m["speedup"] else "-"]
@@ -298,6 +314,10 @@ def build_train_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dtype", default="float64",
                         choices=["float64", "float32"],
                         help="compute precision of the fit (default float64)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "numpy", "torch"],
+                        help="compute backend for the fit (default auto: "
+                             "REPRO_BACKEND if set, else numpy)")
     parser.add_argument("--task", default="none",
                         choices=["none", "classification", "clustering", "linkpred"],
                         help="evaluate the embeddings after training (default none)")
@@ -351,6 +371,7 @@ def _run_train(args) -> int:
     from dataclasses import replace
 
     from repro.core import CoANE, CoANEConfig
+    from repro.nn.backend import resolve_backend
     from repro.scale import reap_orphans
 
     graph = load_graph(args)
@@ -366,7 +387,7 @@ def _run_train(args) -> int:
     config = CoANEConfig(
         embedding_dim=args.dim, epochs=args.epochs, seed=args.seed,
         batch_size=batch_size, num_workers=args.workers, stream=args.stream,
-        spill_dir=args.spill_dir, dtype=args.dtype,
+        spill_dir=args.spill_dir, dtype=args.dtype, backend=args.backend,
         checkpoint_path=args.checkpoint, checkpoint_every=args.checkpoint_every,
     )
     estimator = CoANE(config)
@@ -377,6 +398,7 @@ def _run_train(args) -> int:
     rows = [
         ["nodes x dims", f"{embeddings.shape[0]} x {embeddings.shape[1]}"],
         ["compute dtype", str(embeddings.dtype)],
+        ["compute backend", resolve_backend(config.backend)],
         ["contexts", corpus.num_contexts],
         ["corpus mode", ("streaming" if config.stream else "materialized")
                         + f", workers={config.num_workers}"],

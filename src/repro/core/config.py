@@ -66,6 +66,12 @@ class CoANEConfig:
     # repro.scale.DEFAULT_CHUNK_ROWS default).
     stream_chunk_rows: int | None = None
     dtype: str = "float64"
+    # Compute backend for the fit ("numpy" is the reference and bit-identical
+    # to history at float64; "torch" accelerates when installed).  "auto"
+    # inherits the process-ambient backend, which initialises from the
+    # REPRO_BACKEND environment variable — precedence is therefore
+    # config > `repro train --backend` (which writes this field) > env.
+    backend: str = "auto"
 
     # --- durability (repro.resilience) ---
     # checkpoint_path enables epoch-boundary training-state checkpoints
@@ -121,6 +127,8 @@ class CoANEConfig:
             raise ValueError("stream_chunk_rows must be None or >= 1")
         if self.dtype not in ("float64", "float32"):
             raise ValueError("dtype must be 'float64' or 'float32'")
+        if self.backend not in ("auto", "numpy", "torch"):
+            raise ValueError("backend must be 'auto', 'numpy', or 'torch'")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if self.stream and self.batch_size is None:

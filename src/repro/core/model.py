@@ -52,6 +52,11 @@ class _FullyConnectedExtractor(Module):
 class CoANEModel(Module):
     """Trainable CoANE network.
 
+    All dense math runs through :class:`~repro.nn.Tensor`, which routes to
+    the active :mod:`repro.nn.backend`; parameters and ``state_dict`` stay
+    numpy arrays under every backend, so checkpoints built from this model
+    are backend-neutral.
+
     Parameters
     ----------
     num_attributes:

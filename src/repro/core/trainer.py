@@ -35,7 +35,7 @@ from repro.core.negative_sampling import ContextualNegativeSampler, UniformNegat
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.sparse import SegmentGroups as _SegmentGroups
 from repro.graph.sparse import expand_ranges
-from repro.nn import Adam, Tensor, compute_dtype
+from repro.nn import Adam, Tensor, compute_dtype, use_backend
 from repro.nn.tensor import clear_selector_cache
 from repro.resilience.faults import fault_check
 from repro.resilience.training import (
@@ -176,7 +176,7 @@ class CoANE:
         walk_rng, context_rng, sampler_rng, init_rng, batch_rng = spawn_rngs(cfg.seed, 5)
         n = graph.num_nodes
 
-        with compute_dtype(cfg.dtype):
+        with use_backend(cfg.backend), compute_dtype(cfg.dtype):
             attributes = self._input_attributes(graph)
             if corpus is None:
                 corpus = self._build_corpus(graph, attributes, walk_rng, context_rng)
@@ -393,7 +393,7 @@ class CoANE:
         """Recompute ``embeddings_`` from the fitted model and corpus."""
         if self.model_ is None or getattr(self, "corpus_", None) is None:
             raise RuntimeError("call fit() before refresh_embeddings()")
-        with compute_dtype(self.config.dtype):
+        with use_backend(self.config.backend), compute_dtype(self.config.dtype):
             self.embeddings_ = self.corpus_.embed_all(self.model_)
         return self.embeddings_
 

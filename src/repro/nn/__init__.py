@@ -14,8 +14,23 @@ and the baseline models need, built on numpy:
 
 All gradients are verified against central finite differences in
 ``tests/test_nn_gradcheck.py``.
+
+Array execution routes through a pluggable backend seam
+(:mod:`repro.nn.backend`): ``numpy`` is the default and numerical reference
+(bit-identical to the pre-seam implementation at float64); ``torch`` is an
+optional acceleration backend, imported lazily and only if installed.  Tensor
+payloads stay numpy arrays under every backend, so checkpoints and state
+dicts are backend-neutral.
 """
 
+from repro.nn.backend import (
+    active_backend_name,
+    available_backends,
+    clear_selector_cache,
+    set_backend,
+    torch_available,
+    use_backend,
+)
 from repro.nn.tensor import (
     Tensor,
     compute_dtype,
@@ -53,4 +68,10 @@ __all__ = [
     "SGD",
     "Adam",
     "functional",
+    "active_backend_name",
+    "available_backends",
+    "clear_selector_cache",
+    "set_backend",
+    "torch_available",
+    "use_backend",
 ]

@@ -1,0 +1,370 @@
+"""Pluggable compute backends for the autodiff stack.
+
+The :class:`~repro.nn.Tensor` payload is — and stays — a numpy array: that is
+the contract every checkpoint, state dict, and serving index relies on.  What
+a *backend* changes is who executes the array math between those numpy
+boundaries.  Every dense hot-path operation in :mod:`repro.nn` (matmul,
+segment pooling, gather/scatter, reductions, the exp/tanh elementwise family,
+dtype casts) routes through the active backend's :class:`ArrayOps`, so the
+whole training stack can be re-pointed at an accelerated engine without any
+call-site changes:
+
+* ``numpy`` (default) — the numerical reference.  Its ops are the literal
+  ``np.*`` calls the pre-seam code made, so a float64 fit is bit-identical to
+  the historical implementation.
+* ``torch`` — optional; imported lazily and only if installed.  CPU tensors
+  share memory with the numpy payloads (``torch.from_numpy`` /
+  ``Tensor.numpy()`` are zero-copy), so the backend pays no serialisation
+  cost and wins wherever torch's threaded kernels beat single-threaded
+  numpy ufunc loops (GEMMs, ``index_add_`` scatters, segment pooling).
+
+Two hot-path mechanisms live at the same seam:
+
+* **BLAS-threadpool-aware GEMM chunking** — :func:`gemm_chunk_rows` resolves
+  a row-block size from ``REPRO_GEMM_CHUNK`` (``0``/unset disables it, the
+  default) scaled against :func:`blas_threads`; when enabled, the numpy
+  backend computes large 2-D matmuls in row blocks that bound temporary
+  memory and keep every BLAS thread fed.  It is opt-in because BLAS kernels
+  are not bitwise shape-stable: the reference path must stay byte-equal to
+  history.
+* **The selector/pooling cache** — sparse grouping selectors and segment
+  counts are cached once per ``(index-digest, num_rows, dtype, backend)``
+  (see :class:`SelectorCache`); activating a backend clears the cache so no
+  entry built for one engine or dtype configuration can ever serve another.
+
+What deliberately does *not* route through the backend: RNG draws and weight
+initialisation (both backends must start a seeded fit from identical numpy
+weights — that is what makes cross-backend loss trajectories comparable),
+and scipy sparse-constant propagation in the graph-convolution baselines.
+
+Selection precedence is ``CoANEConfig(backend=...)`` > ``repro train
+--backend`` (which writes the config field) > the ``REPRO_BACKEND``
+environment variable > ``numpy``.  ``backend="auto"`` inherits whatever is
+ambiently active, which the first use initialises from ``REPRO_BACKEND``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+_ENV_BACKEND = "REPRO_BACKEND"
+_ENV_GEMM_CHUNK = "REPRO_GEMM_CHUNK"
+
+
+def blas_threads() -> int:
+    """Best-effort size of the BLAS/compute threadpool.
+
+    numpy does not expose its BLAS thread count; the conventional env knobs
+    are authoritative when set, and the CPU count is the default the pools
+    use when they are not.
+    """
+    for name in ("OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+                 "OMP_NUM_THREADS", "NUMEXPR_NUM_THREADS"):
+        value = os.environ.get(name)
+        if value:
+            try:
+                return max(1, int(value))
+            except ValueError:
+                continue
+    return os.cpu_count() or 1
+
+
+def gemm_chunk_rows() -> int:
+    """Row-block size for chunked dense GEMMs; ``0`` disables chunking.
+
+    Resolved from ``REPRO_GEMM_CHUNK``: unset or ``0`` keeps the historical
+    single-call GEMM (the bit-exact reference behaviour); a positive value is
+    used directly; ``auto`` picks ``4096 * blas_threads()`` — large enough
+    that each block amortises kernel startup across the whole pool, small
+    enough to bound the activation temporaries of a full-batch epoch.
+    """
+    raw = os.environ.get(_ENV_GEMM_CHUNK, "").strip().lower()
+    if not raw or raw == "0":
+        return 0
+    if raw == "auto":
+        return 4096 * blas_threads()
+    try:
+        rows = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_ENV_GEMM_CHUNK} must be an integer or 'auto', got {raw!r}"
+        )
+    return max(0, rows)
+
+
+class SelectorCache:
+    """LRU cache of per-backend pooling state keyed by index content.
+
+    ``segment_mean`` and the large-gather backward pass both reduce to a
+    grouping operation over an integer index array.  Training reuses the same
+    index arrays every epoch (segment ids, positive pairs, fixed negatives),
+    so whatever per-index state a backend builds — a CSR selector for numpy,
+    segment counts for the pooling forward — is built once and keyed by
+    ``(content digest, num_rows, len, dtype, backend)``.  Keying on the
+    backend and dtype means a mid-process configuration switch can never be
+    served state built for the previous configuration; activating a backend
+    additionally clears the cache outright (see :func:`set_backend`).
+    """
+
+    def __init__(self, capacity: int = 32):
+        self._capacity = capacity
+        self._entries = OrderedDict()
+
+    @staticmethod
+    def _digest(index: np.ndarray) -> bytes:
+        return hashlib.blake2b(np.ascontiguousarray(index).tobytes(),
+                               digest_size=16).digest()
+
+    def get(self, index: np.ndarray, num_rows: int, builder, dtype=None,
+            backend: str = "numpy", kind: str = "selector"):
+        key = (self._digest(index), num_rows, len(index),
+               np.dtype(dtype).str, backend, kind)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = builder()
+            self._entries[key] = entry
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return entry
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide cache shared by every backend (entries are backend-keyed).
+selector_cache = SelectorCache()
+
+
+def clear_selector_cache():
+    """Drop all cached selectors/pooling state (between unrelated fits, and
+    from the backend-activation path)."""
+    selector_cache.clear()
+
+
+class ArrayOps:
+    """The backend protocol: numpy arrays in, numpy arrays out.
+
+    Implementations must preserve numpy's shapes, dtypes, and broadcasting
+    semantics for every op; the numpy implementation must additionally be
+    bit-identical to the raw ``np.*`` calls it replaced.
+    """
+
+    name = "abstract"
+
+    # --- dense linear algebra ---
+    def matmul(self, a, b):
+        raise NotImplementedError
+
+    def outer(self, a, b):
+        raise NotImplementedError
+
+    # --- rng-free elementwise ---
+    def exp(self, x):
+        raise NotImplementedError
+
+    def log(self, x):
+        raise NotImplementedError
+
+    def sqrt(self, x):
+        raise NotImplementedError
+
+    def tanh(self, x):
+        raise NotImplementedError
+
+    def logaddexp(self, a, b):
+        raise NotImplementedError
+
+    def clip(self, x, low, high):
+        raise NotImplementedError
+
+    def where(self, condition, a, b):
+        raise NotImplementedError
+
+    # --- reductions ---
+    def sum(self, x, axis=None, keepdims=False):
+        raise NotImplementedError
+
+    def bincount(self, index, minlength):
+        raise NotImplementedError
+
+    # --- gather / scatter / segment ops ---
+    def take_rows(self, x, index):
+        raise NotImplementedError
+
+    def scatter_rows(self, num_rows, index, values, dtype):
+        """Dense ``out[index[j]] += values[j]`` into ``(num_rows, ...)``."""
+        raise NotImplementedError
+
+    def segment_sum(self, values, segment_ids, num_segments):
+        raise NotImplementedError
+
+    def sparse_matmul(self, sparse_constant, dense):
+        """``S @ W`` with a constant scipy sparse left operand."""
+        raise NotImplementedError
+
+    # --- dtype casts / allocation ---
+    def cast(self, x, dtype):
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype):
+        raise NotImplementedError
+
+    def zeros_like(self, x):
+        raise NotImplementedError
+
+    def threads(self) -> int:
+        return blas_threads()
+
+
+_REGISTRY = {}
+_ACTIVE = []  # stack; [-1] is the active backend
+
+
+def register_backend(name: str, factory):
+    """Register a backend factory (called at most once, lazily)."""
+    _REGISTRY[name] = {"factory": factory, "instance": None}
+
+
+def available_backends() -> tuple:
+    """Backend names that can actually be activated on this machine."""
+    names = []
+    for name in _REGISTRY:
+        if name == "torch" and not torch_available():
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def torch_available() -> bool:
+    try:
+        import torch  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _instantiate(name: str) -> ArrayOps:
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    if entry["instance"] is None:
+        entry["instance"] = entry["factory"]()
+    return entry["instance"]
+
+
+def _default_backend_name() -> str:
+    env = os.environ.get(_ENV_BACKEND, "").strip().lower()
+    if env:
+        if env not in _REGISTRY:
+            raise ValueError(
+                f"{_ENV_BACKEND}={env!r} names an unknown backend; "
+                f"registered: {sorted(_REGISTRY)}"
+            )
+        return env
+    return "numpy"
+
+
+def get_backend() -> ArrayOps:
+    """The active :class:`ArrayOps` (initialised from ``REPRO_BACKEND`` on
+    first use)."""
+    if not _ACTIVE:
+        _ACTIVE.append(_instantiate(_default_backend_name()))
+    return _ACTIVE[-1]
+
+
+def active_backend_name() -> str:
+    return get_backend().name
+
+
+def resolve_backend(name) -> str:
+    """Map a configuration value to a concrete backend name.
+
+    ``None``/``"auto"`` inherit the ambient active backend (which the first
+    use initialises from ``REPRO_BACKEND``); anything else names a backend
+    explicitly and overrides the ambient one.
+    """
+    if name is None or name == "auto":
+        return active_backend_name()
+    return str(name)
+
+
+def set_backend(name: str) -> ArrayOps:
+    """Activate ``name`` process-wide and clear the selector cache.
+
+    The cache clear is load-bearing: entries are keyed by backend and dtype
+    so a stale hit is impossible, but state built for a configuration that
+    just became inactive would otherwise be retained for the process
+    lifetime.
+    """
+    ops = _instantiate(name)
+    if not _ACTIVE:
+        _ACTIVE.append(ops)
+    else:
+        _ACTIVE[-1] = ops
+    clear_selector_cache()
+    return ops
+
+
+@contextlib.contextmanager
+def use_backend(name):
+    """Scope a backend activation (the trainer wraps each fit in this).
+
+    ``None``/``"auto"`` resolve to the ambient backend, making the context
+    a no-op; an explicit name pushes that backend and restores — and
+    re-clears the cache for — the previous one on exit.
+    """
+    resolved = resolve_backend(name)
+    previous = active_backend_name()
+    if resolved == previous:
+        yield get_backend()
+        return
+    _ACTIVE.append(_instantiate(resolved))
+    clear_selector_cache()
+    try:
+        yield _ACTIVE[-1]
+    finally:
+        _ACTIVE.pop()
+        clear_selector_cache()
+
+
+# --- registration (torch stays lazy: the factory imports it on activation) --
+from repro.nn.backend.numpy_ops import NumpyOps  # noqa: E402
+
+
+def _make_torch_ops():
+    from repro.nn.backend.torch_ops import TorchOps
+
+    return TorchOps()
+
+
+register_backend("numpy", NumpyOps)
+register_backend("torch", _make_torch_ops)
+
+__all__ = [
+    "ArrayOps",
+    "NumpyOps",
+    "available_backends",
+    "active_backend_name",
+    "blas_threads",
+    "clear_selector_cache",
+    "gemm_chunk_rows",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "selector_cache",
+    "set_backend",
+    "torch_available",
+    "use_backend",
+]

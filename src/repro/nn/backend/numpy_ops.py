@@ -1,0 +1,119 @@
+"""The numpy reference backend.
+
+Every op is the literal ``np.*`` call the pre-seam code made, so a float64
+fit through this backend is bit-identical to the historical implementation.
+The two deliberate extensions keep that guarantee intact:
+
+* :meth:`NumpyOps.matmul` computes large 2-D products in row blocks only
+  when :func:`repro.nn.backend.gemm_chunk_rows` says so (``REPRO_GEMM_CHUNK``
+  is unset by default, and BLAS kernels are not bitwise shape-stable — the
+  reference path must stay byte-equal to history).
+* :meth:`NumpyOps.segment_sum` and :meth:`NumpyOps.scatter_rows` reuse the
+  cached CSR grouping selector (``np.add.at`` is a non-vectorised ufunc loop
+  and dominates the pooling forward otherwise) — the same vectorisation the
+  pre-seam code applied, now keyed per backend/dtype in the shared cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import backend as _backend
+
+
+def grouping_selector(index: np.ndarray, num_rows: int, dtype=np.float64):
+    """Cached ``(num_rows, len(index))`` CSR with a 1 at ``(index[j], j)``.
+
+    ``selector @ M`` scatter-adds rows of ``M`` into ``num_rows`` buckets —
+    the vectorised form of ``np.add.at(out, index, M)``.  The selector data
+    dtype matches the operand so a float32 product stays float32.
+    """
+    import scipy.sparse as sp
+
+    def build():
+        return sp.csr_matrix(
+            (np.ones(len(index), dtype=dtype), (index, np.arange(len(index)))),
+            shape=(num_rows, len(index)),
+        )
+
+    return _backend.selector_cache.get(index, num_rows, build, dtype=dtype,
+                                       backend="numpy", kind="selector")
+
+
+class NumpyOps(_backend.ArrayOps):
+    name = "numpy"
+
+    # --- dense linear algebra ---
+    def matmul(self, a, b):
+        chunk = _backend.gemm_chunk_rows()
+        if (chunk and a.ndim == 2 and b.ndim == 2 and a.shape[0] > 2 * chunk):
+            out = np.empty((a.shape[0], b.shape[1]),
+                           dtype=np.result_type(a, b))
+            for start in range(0, a.shape[0], chunk):
+                out[start:start + chunk] = a[start:start + chunk] @ b
+            return out
+        return a @ b
+
+    def outer(self, a, b):
+        return np.outer(a, b)
+
+    # --- rng-free elementwise ---
+    def exp(self, x):
+        return np.exp(x)
+
+    def log(self, x):
+        return np.log(x)
+
+    def sqrt(self, x):
+        return np.sqrt(x)
+
+    def tanh(self, x):
+        return np.tanh(x)
+
+    def logaddexp(self, a, b):
+        return np.logaddexp(a, b)
+
+    def clip(self, x, low, high):
+        return np.clip(x, low, high)
+
+    def where(self, condition, a, b):
+        return np.where(condition, a, b)
+
+    # --- reductions ---
+    def sum(self, x, axis=None, keepdims=False):
+        return x.sum(axis=axis, keepdims=keepdims)
+
+    def bincount(self, index, minlength):
+        return np.bincount(index, minlength=minlength)
+
+    # --- gather / scatter / segment ops ---
+    def take_rows(self, x, index):
+        return x[index]
+
+    def scatter_rows(self, num_rows, index, values, dtype):
+        if values.ndim == 2 and len(index) > 4096:
+            # Large fancy-index scatters (SGNS batches) run much faster as a
+            # sparse grouping matmul than via np.add.at; the selector is
+            # cached across epochs since the index arrays recur.
+            return grouping_selector(index, num_rows,
+                                     dtype=values.dtype) @ values
+        out = np.zeros((num_rows,) + values.shape[1:], dtype=dtype)
+        np.add.at(out, index, values)
+        return out
+
+    def segment_sum(self, values, segment_ids, num_segments):
+        return grouping_selector(segment_ids, num_segments,
+                                 dtype=values.dtype) @ values
+
+    def sparse_matmul(self, sparse_constant, dense):
+        return sparse_constant @ dense
+
+    # --- dtype casts / allocation ---
+    def cast(self, x, dtype):
+        return np.asarray(x, dtype=dtype)
+
+    def zeros(self, shape, dtype):
+        return np.zeros(shape, dtype=dtype)
+
+    def zeros_like(self, x):
+        return np.zeros_like(x)

@@ -1,0 +1,156 @@
+"""Optional torch acceleration backend.
+
+Only imported when the ``torch`` backend is activated, so the package works
+on torch-less machines.  Tensor payloads stay numpy arrays; every op bridges
+with ``torch.from_numpy`` / ``Tensor.numpy()``, which share memory on CPU —
+the backend pays no copy cost and wins wherever torch's threaded kernels
+beat single-threaded numpy (dense GEMMs, ``index_add_`` scatters, segment
+pooling, the big elementwise maps).  On a CUDA build the same ops run on the
+GPU transparently; per-op host/device transfers then bound the win to the
+GEMM-heavy paths, which is exactly where the epoch step spends its time.
+
+Determinism: for fixed shapes and thread count, torch CPU kernels are
+deterministic run to run, so seeded fits reproduce themselves; they are
+*not* bit-equal to numpy's BLAS (different reduction orders), which is why
+cross-backend tests gate on loss-trajectory closeness rather than equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import torch
+
+from repro.nn import backend as _backend
+
+_CSR_CACHE_ATTR = "_repro_torch_csr"
+
+
+def _device() -> torch.device:
+    return torch.device("cuda") if torch.cuda.is_available() else torch.device("cpu")
+
+
+class TorchOps(_backend.ArrayOps):
+    name = "torch"
+
+    def __init__(self):
+        self.device = _device()
+        if self.device.type == "cpu":
+            # Size the intra-op pool like the BLAS pool numpy would use, so
+            # backend comparisons measure kernels, not thread-count skew.
+            try:
+                torch.set_num_threads(_backend.blas_threads())
+            except RuntimeError:
+                pass  # pool already started; keep its size
+
+    # --- bridging -------------------------------------------------------
+    def _to(self, x) -> torch.Tensor:
+        tensor = torch.from_numpy(np.ascontiguousarray(x))
+        if self.device.type != "cpu":
+            tensor = tensor.to(self.device)
+        return tensor
+
+    def _from(self, tensor: torch.Tensor) -> np.ndarray:
+        if tensor.device.type != "cpu":
+            tensor = tensor.cpu()
+        return tensor.numpy()
+
+    # --- dense linear algebra ---
+    def matmul(self, a, b):
+        return self._from(torch.matmul(self._to(a), self._to(b)))
+
+    def outer(self, a, b):
+        return self._from(torch.outer(self._to(np.ravel(a)),
+                                      self._to(np.ravel(b))))
+
+    # --- rng-free elementwise ---
+    def exp(self, x):
+        return self._from(torch.exp(self._to(x)))
+
+    def log(self, x):
+        return self._from(torch.log(self._to(x)))
+
+    def sqrt(self, x):
+        return self._from(torch.sqrt(self._to(x)))
+
+    def tanh(self, x):
+        return self._from(torch.tanh(self._to(x)))
+
+    def logaddexp(self, a, b):
+        a = np.asarray(a, dtype=np.result_type(a, b))
+        b = np.asarray(b, dtype=a.dtype)
+        a, b = np.broadcast_arrays(a, b)
+        return self._from(torch.logaddexp(self._to(a), self._to(b)))
+
+    def clip(self, x, low, high):
+        return self._from(torch.clamp(self._to(x), min=low, max=high))
+
+    def where(self, condition, a, b):
+        a, b = np.broadcast_arrays(np.asarray(a), np.asarray(b))
+        out = torch.where(self._to(condition), self._to(a), self._to(b))
+        return self._from(out)
+
+    # --- reductions ---
+    def sum(self, x, axis=None, keepdims=False):
+        tensor = self._to(x)
+        if axis is None:
+            out = tensor.sum()
+            if keepdims:
+                out = out.reshape((1,) * x.ndim)
+            return self._from(out)
+        return self._from(tensor.sum(dim=axis, keepdim=keepdims))
+
+    def bincount(self, index, minlength):
+        return self._from(torch.bincount(self._to(index),
+                                         minlength=minlength))
+
+    # --- gather / scatter / segment ops ---
+    def take_rows(self, x, index):
+        if index.ndim != 1:
+            return x[index]  # multi-dim fancy index: rare, numpy handles it
+        return self._from(torch.index_select(self._to(x), 0, self._to(index)))
+
+    def scatter_rows(self, num_rows, index, values, dtype):
+        values_t = self._to(np.asarray(values, dtype=dtype))
+        out = torch.zeros((num_rows,) + values_t.shape[1:],
+                          dtype=values_t.dtype, device=values_t.device)
+        out.index_add_(0, self._to(index), values_t)
+        return self._from(out)
+
+    def segment_sum(self, values, segment_ids, num_segments):
+        return self.scatter_rows(num_segments, segment_ids, values,
+                                 values.dtype)
+
+    def sparse_matmul(self, sparse_constant, dense):
+        # The sparse operand is a per-fit constant (the attribute-context
+        # matrix); cache its torch CSR form on the scipy object so the
+        # conversion happens once, not every epoch.
+        cached = getattr(sparse_constant, _CSR_CACHE_ATTR, None)
+        dtype = torch.from_numpy(np.empty(0, dtype=dense.dtype)).dtype
+        if cached is None or cached.dtype != dtype:
+            csr = sparse_constant.tocsr()
+            cached = torch.sparse_csr_tensor(
+                torch.from_numpy(csr.indptr.astype(np.int64)),
+                torch.from_numpy(csr.indices.astype(np.int64)),
+                torch.from_numpy(np.asarray(csr.data, dtype=dense.dtype)),
+                size=csr.shape, dtype=dtype,
+            ).to(self.device)
+            try:
+                setattr(sparse_constant, _CSR_CACHE_ATTR, cached)
+            except AttributeError:
+                pass  # object refuses attributes; pay the conversion again
+        return self._from(torch.sparse.mm(cached, self._to(dense)))
+
+    # --- dtype casts / allocation ---
+    def cast(self, x, dtype):
+        return np.asarray(x, dtype=dtype)
+
+    def zeros(self, shape, dtype):
+        return np.zeros(shape, dtype=dtype)
+
+    def zeros_like(self, x):
+        return np.zeros_like(x)
+
+    def threads(self) -> int:
+        if self.device.type == "cpu":
+            return torch.get_num_threads()
+        return torch.cuda.device_count()

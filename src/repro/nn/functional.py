@@ -1,8 +1,11 @@
-"""Loss helpers shared by CoANE and the baselines."""
+"""Loss helpers shared by CoANE and the baselines.
+
+Raw-array targets/weights are wrapped in :class:`~repro.nn.Tensor`, whose
+constructor coerces to the active compute dtype — the losses therefore follow
+the trainer's dtype and backend configuration with no casts of their own.
+"""
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.nn.tensor import Tensor
 
@@ -10,7 +13,7 @@ from repro.nn.tensor import Tensor
 def mse_loss(prediction: Tensor, target) -> Tensor:
     """Mean squared error; ``target`` may be a raw array (treated as constant)."""
     if not isinstance(target, Tensor):
-        target = Tensor(np.asarray(target, dtype=np.float64))
+        target = Tensor(target)
     diff = prediction - target
     return (diff * diff).mean()
 
@@ -22,11 +25,11 @@ def binary_cross_entropy_with_logits(logits: Tensor, target, weight=None) -> Ten
     GAE family up-weights positive edges by ``(n^2 - |E|) / |E|``).
     """
     if not isinstance(target, Tensor):
-        target = Tensor(np.asarray(target, dtype=np.float64))
+        target = Tensor(target)
     loss = logits.softplus() - logits * target
     if weight is not None:
         if not isinstance(weight, Tensor):
-            weight = Tensor(np.asarray(weight, dtype=np.float64))
+            weight = Tensor(weight)
         loss = loss * weight
     return loss.mean()
 

@@ -3,6 +3,11 @@
 CoANE initialises both the convolution filters and node embeddings with the
 Xavier (Glorot) uniform scheme [Glorot & Bengio, 2010], which the paper cites
 explicitly (Section 3.3.4).
+
+Initialisation is deliberately pinned to numpy's Generator and does NOT route
+through :mod:`repro.nn.backend`: every backend must start a seeded fit from
+identical weights, which is what makes cross-backend loss trajectories
+comparable and keeps checkpoints backend-neutral.
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.init import xavier_uniform
-from repro.nn.tensor import Tensor, segment_mean, sparse_matmul
+from repro.nn.tensor import Tensor, _ops, segment_mean, sparse_matmul
 from repro.utils.rng import ensure_rng
 
 
@@ -254,9 +254,10 @@ class GCNConv(Module):
             support = sparse_matmul(x, self.linear.weight)
         else:
             support = self.linear(x)
-        propagated = adj_norm @ support.data
+        propagated = _ops().sparse_matmul(adj_norm, support.data)
+        adj_t = adj_norm.T  # taken once so backends can cache the conversion
 
         def backward(g):
-            return (adj_norm.T @ g,)
+            return (_ops().sparse_matmul(adj_t, g),)
 
         return Tensor._make(propagated, (support,), backward, "gcn_propagate")

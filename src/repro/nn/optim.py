@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import backend as _backend
+
 
 class Optimizer:
     """Base optimiser over a list of :class:`~repro.nn.Parameter`."""
@@ -38,7 +40,8 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        ops = _backend.get_backend()
+        self._velocity = [ops.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
         for p, v in zip(self.parameters, self._velocity):
@@ -67,8 +70,9 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self._step = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        ops = _backend.get_backend()
+        self._m = [ops.zeros_like(p.data) for p in self.parameters]
+        self._v = [ops.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
         self._step += 1
@@ -84,7 +88,7 @@ class Adam(Optimizer):
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
             v += (1.0 - self.beta2) * grad**2
-            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            p.data -= self.lr * (m / bias1) / (_backend.get_backend().sqrt(v / bias2) + self.eps)
 
     def state_dict(self) -> dict:
         """The optimiser's mutable state: step count and both moment lists

@@ -13,18 +13,28 @@ Design notes
 * Broadcasting follows numpy semantics.  :func:`_unbroadcast` reduces an
   upstream gradient back to a parent's shape by summing over the broadcast
   axes, which is the transpose of the broadcast operation itself.
-* Gather (integer indexing of rows) backpropagates with ``np.add.at`` so that
+* Gather (integer indexing of rows) backpropagates with a scatter-add so that
   repeated indices accumulate, matching the mathematics of an embedding
   lookup.
+* Every dense hot-path operation — matmul, segment pooling, gather/scatter,
+  reductions, the rng-free elementwise family — routes through the active
+  :mod:`repro.nn.backend` (numpy by default and bit-identical to the
+  historical raw-``np`` implementation; torch optionally).  The payload
+  (:attr:`Tensor.data`) is always a numpy array regardless of backend, so
+  checkpoints and state dicts stay backend-neutral.  Constant-shape glue
+  (``reshape``/``broadcast_to``/``concatenate`` bookkeeping) stays on numpy
+  views deliberately: it moves no appreciable FLOPs.
 """
 
 from __future__ import annotations
 
 import contextlib
-import hashlib
-from collections import OrderedDict
 
 import numpy as np
+
+from repro.nn import backend as _backend
+from repro.nn.backend import clear_selector_cache  # re-export (legacy seam)
+from repro.nn.backend.numpy_ops import grouping_selector as _grouping_selector  # noqa: F401
 
 _GRAD_ENABLED = [True]
 
@@ -34,6 +44,12 @@ _GRAD_ENABLED = [True]
 #: compute mode and pops it when the fit ends, so inference and evaluation
 #: code outside the fit keep full precision.
 _DEFAULT_DTYPE = [np.dtype(np.float64)]
+
+
+def _ops() -> "_backend.ArrayOps":
+    """The active backend's array ops (resolved per call, so a backend
+    switch between forward and backward is honoured by both)."""
+    return _backend.get_backend()
 
 
 def get_default_dtype() -> np.dtype:
@@ -62,69 +78,6 @@ def compute_dtype(dtype):
         _DEFAULT_DTYPE.pop()
 
 
-class _SelectorCache:
-    """LRU cache of sparse scatter/grouping matrices keyed by index content.
-
-    ``segment_mean`` and the large-gather backward pass both reduce to a
-    product with a CSR selector built from an integer index array.  Training
-    reuses the same index arrays every epoch (segment ids, positive pairs,
-    fixed negatives), so the selector is built once and keyed by a content
-    digest — identity-safe (in-place mutation changes the digest) and cheap
-    (hashing is a single pass; CSR construction is many).
-    """
-
-    def __init__(self, capacity: int = 32):
-        self._capacity = capacity
-        self._entries = OrderedDict()
-
-    @staticmethod
-    def _digest(index: np.ndarray) -> bytes:
-        return hashlib.blake2b(np.ascontiguousarray(index).tobytes(),
-                               digest_size=16).digest()
-
-    def get(self, index: np.ndarray, num_rows: int, builder, dtype=None):
-        key = (self._digest(index), num_rows, len(index), np.dtype(dtype).str)
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = builder()
-            self._entries[key] = entry
-            if len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-        else:
-            self._entries.move_to_end(key)
-        return entry
-
-    def clear(self):
-        self._entries.clear()
-
-
-_selector_cache = _SelectorCache()
-
-
-def clear_selector_cache():
-    """Drop all cached selectors (e.g. between unrelated fits, so arrays from
-    a finished training run are not retained for the process lifetime)."""
-    _selector_cache.clear()
-
-
-def _grouping_selector(index: np.ndarray, num_rows: int, dtype=np.float64):
-    """Cached ``(num_rows, len(index))`` CSR with a 1 at ``(index[j], j)``.
-
-    ``selector @ M`` scatter-adds rows of ``M`` into ``num_rows`` buckets —
-    the vectorised form of ``np.add.at(out, index, M)``.  The selector data
-    dtype matches the operand so a float32 product stays float32.
-    """
-    import scipy.sparse as sp
-
-    def build():
-        return sp.csr_matrix(
-            (np.ones(len(index), dtype=dtype), (index, np.arange(len(index)))),
-            shape=(num_rows, len(index)),
-        )
-
-    return _selector_cache.get(index, num_rows, build, dtype=dtype)
-
-
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (e.g. for inference)."""
@@ -143,14 +96,15 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
     if grad.shape == shape:
         return grad
+    ops = _ops()
     # Sum over leading axes added by broadcasting.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        grad = ops.sum(grad, axis=tuple(range(extra)))
     # Sum over axes that were size-1 in the original shape.
     axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
+        grad = ops.sum(grad, axis=axes, keepdims=True)
     return grad.reshape(shape)
 
 
@@ -348,17 +302,19 @@ class Tensor:
 
     def __matmul__(self, other):
         other = self._coerce(other)
-        data = self.data @ other.data
+        data = _ops().matmul(self.data, other.data)
 
         def backward(g):
+            ops = _ops()
             a, b = self.data, other.data
             if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
                 return (g * b, g * a)
             if a.ndim == 1:  # (k,) @ (k, n)
-                return (g @ b.T, np.outer(a, g))
+                return (ops.matmul(g, b.T), ops.outer(a, g))
             if b.ndim == 1:  # (m, k) @ (k,)
-                return (np.outer(g, b), a.T @ g)
-            return (g @ b.swapaxes(-1, -2), a.swapaxes(-1, -2) @ g)
+                return (ops.outer(g, b), ops.matmul(a.T, g))
+            return (ops.matmul(g, b.swapaxes(-1, -2)),
+                    ops.matmul(a.swapaxes(-1, -2), g))
 
         return Tensor._make(data, (self, other), backward, "matmul")
 
@@ -392,17 +348,22 @@ class Tensor:
         """Row gather.  ``index`` may be an int, slice, or integer array."""
         if isinstance(index, Tensor):
             index = index.data.astype(np.int64)
-        data = self.data[index]
+        array_index = (isinstance(index, np.ndarray) and index.ndim == 1
+                       and index.dtype.kind in "iu")
+        if array_index:
+            data = _ops().take_rows(self.data, index)
+        else:
+            data = self.data[index]
         shape = self.shape
         dtype = self.data.dtype
 
         def backward(g):
-            if (isinstance(index, np.ndarray) and index.ndim == 1
-                    and g.ndim == 2 and len(shape) == 2 and len(index) > 4096):
-                # Large fancy-index gathers (SGNS batches) scatter much faster
-                # as a sparse grouping matmul than via np.add.at; the selector
-                # is cached across epochs since the index arrays recur.
-                return (_grouping_selector(index, shape[0], dtype=g.dtype) @ g,)
+            if array_index:
+                # The backend picks the scatter strategy: numpy uses the
+                # cached sparse grouping selector for large SGNS-batch
+                # gathers and np.add.at below that threshold; torch uses
+                # index_add_.
+                return (_ops().scatter_rows(shape[0], index, g, dtype),)
             grad = np.zeros(shape, dtype=dtype)
             np.add.at(grad, index, g)
             return (grad,)
@@ -411,7 +372,7 @@ class Tensor:
 
     # ------------------------------------------------------------ reductions
     def sum(self, axis=None, keepdims: bool = False):
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+        data = _ops().sum(self.data, axis=axis, keepdims=keepdims)
         shape = self.shape
 
         def backward(g):
@@ -433,7 +394,7 @@ class Tensor:
 
     # ---------------------------------------------------------- elementwise
     def exp(self):
-        data = np.exp(self.data)
+        data = _ops().exp(self.data)
 
         def backward(g):
             return (g * data,)
@@ -441,7 +402,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "exp")
 
     def log(self):
-        data = np.log(self.data)
+        data = _ops().log(self.data)
 
         def backward(g):
             return (g / self.data,)
@@ -449,7 +410,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "log")
 
     def sqrt(self):
-        data = np.sqrt(self.data)
+        data = _ops().sqrt(self.data)
 
         def backward(g):
             return (g * 0.5 / data,)
@@ -457,7 +418,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "sqrt")
 
     def sigmoid(self):
-        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+        ops = _ops()
+        data = 1.0 / (1.0 + ops.exp(-ops.clip(self.data, -500, 500)))
 
         def backward(g):
             return (g * data * (1.0 - data),)
@@ -467,16 +429,17 @@ class Tensor:
     def log_sigmoid(self):
         """Numerically stable ``log(sigmoid(x)) = -softplus(-x)``."""
         x = self.data
-        data = -np.logaddexp(0.0, -x)
+        data = -_ops().logaddexp(0.0, -x)
 
         def backward(g):
             # d/dx log sigmoid(x) = sigmoid(-x)
-            return (g / (1.0 + np.exp(np.clip(x, -500, 500))),)
+            ops = _ops()
+            return (g / (1.0 + ops.exp(ops.clip(x, -500, 500))),)
 
         return Tensor._make(data, (self,), backward, "log_sigmoid")
 
     def tanh(self):
-        data = np.tanh(self.data)
+        data = _ops().tanh(self.data)
 
         def backward(g):
             return (g * (1.0 - data**2),)
@@ -485,7 +448,7 @@ class Tensor:
 
     def relu(self):
         mask = self.data > 0
-        data = np.where(mask, self.data, 0.0)
+        data = _ops().where(mask, self.data, 0.0)
 
         def backward(g):
             return (g * mask,)
@@ -493,17 +456,18 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "relu")
 
     def softplus(self):
-        data = np.logaddexp(0.0, self.data)
+        data = _ops().logaddexp(0.0, self.data)
 
         def backward(g):
-            return (g / (1.0 + np.exp(np.clip(-self.data, -500, 500))),)
+            ops = _ops()
+            return (g / (1.0 + ops.exp(ops.clip(-self.data, -500, 500))),)
 
         return Tensor._make(data, (self,), backward, "softplus")
 
     def clip(self, low: float, high: float):
         """Clamp values; gradient passes only through the un-clipped region."""
         mask = (self.data >= low) & (self.data <= high)
-        data = np.clip(self.data, low, high)
+        data = _ops().clip(self.data, low, high)
 
         def backward(g):
             return (g * mask,)
@@ -517,12 +481,15 @@ def sparse_matmul(sparse_constant, dense: Tensor) -> Tensor:
     CoANE's attribute-context matrices are extremely sparse (a handful of
     bag-of-words entries per context row), so the context convolution is far
     cheaper as a sparse-dense product.  ``S`` carries no gradient; the
-    gradient w.r.t. ``W`` is ``S.T @ g``.
+    gradient w.r.t. ``W`` is ``S.T @ g``.  The transpose view is taken once
+    so backends that convert the constant operand (torch CSR) can cache the
+    conversion on it across epochs.
     """
-    data = sparse_constant @ dense.data
+    data = _ops().sparse_matmul(sparse_constant, dense.data)
+    sparse_t = sparse_constant.T
 
     def backward(g):
-        return (sparse_constant.T @ g,)
+        return (_ops().sparse_matmul(sparse_t, g),)
 
     return Tensor._make(data, (dense,), backward, "sparse_matmul")
 
@@ -558,6 +525,26 @@ def stack(tensors, axis: int = 0) -> Tensor:
     return Tensor._make(data, tuple(tensors), backward, "stack")
 
 
+def _segment_counts(segment_ids: np.ndarray, num_segments: int, dtype):
+    """Cached ``(counts, safe_counts)`` for a pooling index.
+
+    The pooling runs every epoch with the same segment ids; caching the
+    bincount alongside the backend's grouping state means repeated
+    ``segment_mean`` calls cost one digest hash, not a fresh reduction —
+    the incremental pooling cache.
+    """
+    ops = _ops()
+
+    def build():
+        counts = ops.bincount(segment_ids, minlength=num_segments).astype(dtype)
+        safe_counts = np.maximum(counts, dtype.type(1.0))
+        return counts, safe_counts
+
+    return _backend.selector_cache.get(segment_ids, num_segments, build,
+                                       dtype=dtype, backend=ops.name,
+                                       kind="counts")
+
+
 def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Average rows of ``values`` that share a segment id.
 
@@ -580,16 +567,16 @@ def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> 
     if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
         raise ValueError("segment_ids out of range")
     dtype = values.data.dtype
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(dtype)
-    safe_counts = np.maximum(counts, dtype.type(1.0))
+    _, safe_counts = _segment_counts(segment_ids, num_segments, dtype)
 
-    # The pooling runs every epoch with the same segment ids; the cached CSR
-    # selector turns the scatter-add into one sparse matmul (np.add.at is a
-    # non-vectorised ufunc loop and dominates the forward pass otherwise).
-    sums = _grouping_selector(segment_ids, num_segments, dtype=dtype) @ values.data
+    # The pooling runs every epoch with the same segment ids; the backend
+    # turns the scatter-add into one grouped reduction (a cached CSR matmul
+    # on numpy, index_add_ on torch — np.add.at is a non-vectorised ufunc
+    # loop and dominates the forward pass otherwise).
+    sums = _ops().segment_sum(values.data, segment_ids, num_segments)
     data = sums / safe_counts[:, None]
 
     def backward(g):
-        return ((g / safe_counts[:, None])[segment_ids],)
+        return (_ops().take_rows(g / safe_counts[:, None], segment_ids),)
 
     return Tensor._make(data, (values,), backward, "segment_mean")

@@ -69,7 +69,8 @@ def _time_epochs(graph, config: CoANEConfig) -> tuple:
 
 def run_pipeline_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
                        epochs: int = 3, batch_size: int = 256, graph=None,
-                       micro: bool = True, **config_overrides) -> dict:
+                       micro: bool = True, backend: str = "auto",
+                       **config_overrides) -> dict:
     """Time every pipeline stage on a dataset analog; return the report dict.
 
     Parameters
@@ -85,11 +86,20 @@ def run_pipeline_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
         Batch size for the mini-batch epoch stage; ``None`` or 0 skips it.
     micro:
         Also run the vectorised-vs-reference microbenchmarks.
+    backend:
+        Compute backend the timing fits run under (``"auto"`` = the ambient
+        default).  The report records the resolved name and the compute
+        threadpool size; when other backends are importable, the epoch stage
+        is re-timed under each and recorded in ``backend_comparison``.
     """
+    from repro.nn import backend as nn_backend
+
     if graph is None:
         if dataset is None:
             raise ValueError("pass either dataset or graph")
         graph = _load_graph(dataset, scale, seed)
+    backend = nn_backend.resolve_backend(backend)
+    config_overrides = dict(config_overrides, backend=backend)
     cfg = _bench_config(seed, epochs, **config_overrides)
     rng = ensure_rng(seed)
     n = graph.num_nodes
@@ -145,6 +155,23 @@ def run_pipeline_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
             "unit": "epochs/s",
         }
 
+    # Re-time the epoch stage under every other importable backend so the
+    # report carries a like-for-like per-backend comparison (same graph,
+    # same seed, identical initial weights — init is numpy-pinned).
+    comparison = {backend: {"epoch_seconds": epoch_seconds}}
+    for other in nn_backend.available_backends():
+        if other == backend:
+            continue
+        other_seconds, _ = _time_epochs(
+            graph, _bench_config(seed, epochs,
+                                 **dict(config_overrides, backend=other)))
+        comparison[other] = {"epoch_seconds": other_seconds}
+    baseline = comparison.get("numpy", {}).get("epoch_seconds")
+    for entry in comparison.values():
+        seconds = entry["epoch_seconds"]
+        entry["speedup_vs_numpy"] = (
+            baseline / seconds if baseline and seconds else None)
+
     report = {
         "benchmark": "pipeline",
         "dataset": graph.name,
@@ -153,12 +180,17 @@ def run_pipeline_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
         "num_nodes": n,
         "num_edges": graph.num_edges,
         "num_contexts": context_set.num_contexts,
+        "backend": backend,
+        "blas_threads": nn_backend.blas_threads(),
+        "gemm_chunk_rows": nn_backend.gemm_chunk_rows(),
+        "backend_comparison": comparison,
         "config": {
             "walk_length": cfg.walk_length,
             "num_walks": cfg.num_walks,
             "context_size": cfg.context_size,
             "epochs": epochs,
             "batch_size": batch_size,
+            "backend": backend,
         },
         "stages": stages,
     }

@@ -68,13 +68,15 @@ class TrainingState:
     def matches(self, fingerprint: str, config: dict) -> None:
         """Raise :class:`ResumeMismatchError` unless this state belongs to
         the given run.  The checkpointing knobs themselves are ignored, so a
-        run may legitimately move its state file between restarts."""
+        run may legitimately move its state file between restarts; the
+        compute backend is ignored too — checkpoints are backend-neutral
+        numpy state, so a fit may resume under a different backend."""
         if fingerprint != self.fingerprint:
             raise ResumeMismatchError(
                 f"training state was captured on a different graph "
                 f"(fingerprint {self.fingerprint} != {fingerprint})"
             )
-        ignored = ("checkpoint_path", "checkpoint_every")
+        ignored = ("checkpoint_path", "checkpoint_every", "backend")
         ours = {k: v for k, v in self.config.items() if k not in ignored}
         theirs = {k: v for k, v in config.items() if k not in ignored}
         if ours != theirs:

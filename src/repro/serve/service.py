@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn import no_grad
 from repro.resilience.faults import fault_check
 from repro.serve.ann import IVFIndex
 from repro.serve.checkpoint import Checkpoint
@@ -349,9 +350,12 @@ class EmbeddingService:
         self._require_graph("edge scoring")
         self._scorers_current()
         if self._edge_scorer is None:
-            self._edge_scorer = EdgeScorer(self._serving_embeddings,
-                                           self._serving_graph(),
-                                           seed=self._seed)
+            # Serving refits are inference-only: no_grad guarantees the fit
+            # can never build an autograd graph over the serving embeddings.
+            with no_grad():
+                self._edge_scorer = EdgeScorer(self._serving_embeddings,
+                                               self._serving_graph(),
+                                               seed=self._seed)
         return self._edge_scorer
 
     @property
@@ -361,8 +365,9 @@ class EmbeddingService:
             raise RuntimeError("label scoring needs a labelled graph")
         self._scorers_current()
         if self._label_scorer is None:
-            self._label_scorer = LabelScorer(self._serving_embeddings,
-                                             self._serving_labels())
+            with no_grad():
+                self._label_scorer = LabelScorer(self._serving_embeddings,
+                                                 self._serving_labels())
         return self._label_scorer
 
     def score_edges(self, pairs) -> np.ndarray:

@@ -30,3 +30,25 @@ def circle_graph():
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)
+
+
+def backend_params():
+    """Parametrisation ids for backend-sensitive suites: numpy always, torch
+    marked skip when not importable (skipped, never failed)."""
+    from repro.nn.backend import torch_available
+
+    return [
+        pytest.param("numpy", id="numpy"),
+        pytest.param("torch", id="torch",
+                     marks=pytest.mark.skipif(not torch_available(),
+                                              reason="torch not installed")),
+    ]
+
+
+@pytest.fixture(params=backend_params())
+def nn_backend(request):
+    """Activate a compute backend for the duration of one test."""
+    from repro.nn.backend import use_backend
+
+    with use_backend(request.param):
+        yield request.param

@@ -4,13 +4,54 @@ Each test builds a scalar function of one or more input tensors, computes the
 analytic gradient via backward(), and compares against central differences.
 This is the load-bearing correctness test for the whole NN substrate — every
 model in the repository trains through these ops.
+
+The whole module is parametrised over backend x dtype: every op must pass the
+same finite-difference check under each registered compute backend (torch is
+skipped, never failed, when not importable) and at both compute precisions.
+Tolerances are dtype-aware — float32 forward rounding puts a ~1e-7-relative
+floor under the analytic gradient that the float64 numeric reference does not
+share.
 """
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.nn import Tensor, concat, segment_mean, sparse_matmul, stack
+from repro.nn import (
+    Tensor,
+    compute_dtype,
+    concat,
+    get_default_dtype,
+    segment_mean,
+    sparse_matmul,
+    stack,
+)
+from repro.nn.backend import torch_available, use_backend
+
+
+def _backend_params():
+    return [
+        pytest.param("numpy", id="numpy"),
+        pytest.param("torch", id="torch",
+                     marks=pytest.mark.skipif(not torch_available(),
+                                              reason="torch not installed")),
+    ]
+
+
+@pytest.fixture(autouse=True, params=_backend_params())
+def _active_backend(request):
+    with use_backend(request.param):
+        yield request.param
+
+
+@pytest.fixture(autouse=True, params=["float64", "float32"])
+def _active_dtype(request):
+    with compute_dtype(request.param):
+        yield request.param
+
+
+def _tolerance(float64_tol: float, float32_tol: float) -> float:
+    return float64_tol if get_default_dtype() == np.float64 else float32_tol
 
 
 def numeric_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -29,8 +70,15 @@ def numeric_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     return grad
 
 
-def check(fn_tensor, fn_numpy, *shapes, seed=0, tol=1e-5):
-    """Compare autograd and numeric gradients of fn over random inputs."""
+def check(fn_tensor, fn_numpy, *shapes, seed=0, tol=None):
+    """Compare autograd and numeric gradients of fn over random inputs.
+
+    The numeric reference is always computed at float64; the analytic side
+    runs at the active compute dtype, so the default tolerance loosens under
+    float32.
+    """
+    if tol is None:
+        tol = _tolerance(1e-5, 2e-2)
     rng = np.random.default_rng(seed)
     values = [rng.normal(size=shape) + 0.1 for shape in shapes]
     tensors = [Tensor(v.copy(), requires_grad=True) for v in values]
@@ -108,7 +156,7 @@ class TestMatmul:
         out = sparse_matmul(sparse_const, w).sum()
         out.backward()
         numeric = numeric_gradient(lambda x: (sparse_const @ x).sum(), dense.copy())
-        np.testing.assert_allclose(w.grad, numeric, atol=1e-6)
+        np.testing.assert_allclose(w.grad, numeric, atol=_tolerance(1e-6, 1e-4))
 
 
 class TestReductionsAndShape:
@@ -157,7 +205,7 @@ class TestReductionsAndShape:
         (a[index] * Tensor(weights)).sum().backward()
         expected = np.zeros((10, 3))
         np.add.at(expected, index, weights)
-        np.testing.assert_allclose(a.grad, expected, atol=1e-9)
+        np.testing.assert_allclose(a.grad, expected, atol=_tolerance(1e-9, 1e-3))
 
     def test_concat(self):
         check(lambda a, b: (concat([a, b], axis=1) ** 2.0).sum(),

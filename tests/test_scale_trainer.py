@@ -24,7 +24,12 @@ def _fit(graph, **overrides):
     return CoANE(CoANEConfig(**{**CFG, **overrides})).fit(graph)
 
 
+@pytest.mark.usefixtures("nn_backend")
 class TestStreamingEquivalence:
+    """Runs once per registered compute backend (torch skipped when absent):
+    the streaming/in-memory equivalence must hold under every engine, not
+    just the numpy reference."""
+
     def test_streaming_matches_in_memory_exactly_float64(self, small_graph):
         memory = _fit(small_graph, batch_size=32)
         stream = _fit(small_graph, batch_size=32, stream=True)
@@ -88,6 +93,7 @@ class TestWorkerDeterminism:
         assert a.history_ == b.history_
 
 
+@pytest.mark.usefixtures("nn_backend")
 class TestFloat32Mode:
     def test_float32_tracks_float64(self, small_graph):
         f64 = _fit(small_graph, batch_size=32)

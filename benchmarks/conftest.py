@@ -66,32 +66,19 @@ def run_context() -> str:
     artifact can always be traced back to the commit/knobs that produced it
     (timing-only diffs with no recorded provenance are otherwise
     indistinguishable from hand edits).  Cached so every artifact of one
-    pytest process carries the same stamp."""
+    pytest process carries the same stamp.  Commit/dirty detection lives in
+    :func:`repro.obs.manifest.git_provenance`, shared with trace manifests."""
     import platform
-    import subprocess
 
     import numpy
 
-    try:
-        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        commit = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=root, capture_output=True, text=True, check=True).stdout.strip()
-        # Best-effort dirty detection over tracked files only: the
-        # benchmark/perf runs rewrite results/ and BENCH_*.json themselves,
-        # and docs (*.md, e.g. a pending changelog entry) cannot affect a
-        # run — neither must make a pristine regeneration look hand-edited.
-        # Untracked code (-uno) is invisible here; the stamp is provenance
-        # evidence, not a tamper-proof seal.
-        dirty = subprocess.run(
-            ["git", "status", "--porcelain", "-uno", "--",
-             ".", ":(exclude)benchmarks/results", ":(exclude)BENCH_*.json",
-             ":(exclude)*.md"],
-            cwd=root, capture_output=True, text=True, check=True).stdout.strip()
-        if dirty:
-            commit += "-dirty"
-    except (OSError, subprocess.CalledProcessError):
-        commit = "unknown"
+    from repro.obs.manifest import git_provenance
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    provenance = git_provenance(root)
+    commit = provenance["commit"]
+    if provenance["dirty"]:
+        commit += "-dirty"
     return ("[run context] commit=%s seed=%d scale=%s budget=%s "
             "python=%s numpy=%s platform=%s" %
             (commit, bench_seed(), bench_scale(), bench_budget(),

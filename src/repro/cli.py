@@ -13,6 +13,9 @@ Examples::
     python -m repro bench --stage scale --dataset pubmed --workers 1,2,4
     python -m repro export --dataset pubmed --output pubmed.ckpt.npz
     python -m repro query --checkpoint pubmed.ckpt.npz --node 7 --topk 10
+    python -m repro train --dataset cora --trace run.trace.jsonl
+    python -m repro trace summarize run.trace.jsonl
+    python -m repro metrics --dump
 """
 
 from __future__ import annotations
@@ -36,8 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CoANE reproduction: train an embedding method and evaluate it.",
         epilog="Subcommands: 'repro bench' times the pipeline or serving "
-               "stages, 'repro export' writes a serve checkpoint, and "
-               "'repro query' answers top-k neighbor queries from one "
+               "stages, 'repro export' writes a serve checkpoint, "
+               "'repro query' answers top-k neighbor queries from one, "
+               "'repro trace summarize' aggregates a JSONL span trace, and "
+               "'repro metrics' exports the metrics registry "
                "(see '<subcommand> --help').",
     )
     source = parser.add_argument_group("data source")
@@ -338,6 +343,12 @@ def build_train_parser() -> argparse.ArgumentParser:
                             help="arm a deterministic fault plan before "
                                  "training (JSON text or a path to it); for "
                                  "resilience testing")
+    obs = parser.add_argument_group("observability (repro.obs)")
+    obs.add_argument("--trace", default=None, metavar="PATH",
+                     help="append a JSONL span trace of the fit to PATH "
+                          "(run manifest, epoch/batch spans, supervision "
+                          "events, final metrics snapshot); equivalent to "
+                          "setting REPRO_TRACE, and provably free when off")
     return parser
 
 
@@ -389,6 +400,7 @@ def _run_train(args) -> int:
         batch_size=batch_size, num_workers=args.workers, stream=args.stream,
         spill_dir=args.spill_dir, dtype=args.dtype, backend=args.backend,
         checkpoint_path=args.checkpoint, checkpoint_every=args.checkpoint_every,
+        trace_path=args.trace,
     )
     estimator = CoANE(config)
     start = time.perf_counter()
@@ -411,6 +423,9 @@ def _run_train(args) -> int:
                         corpus.max_rows_materialized])
     if args.resume:
         rows.append(["resumed", "yes (exact continuation)"])
+    if args.trace:
+        rows.append(["trace", f"{args.trace} "
+                              "(inspect with 'repro trace summarize')"])
     report = getattr(getattr(corpus, "store", None), "generation_report", None)
     if report:
         rows.append(["generation supervision",
@@ -541,8 +556,81 @@ def run_query(argv) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Inspect a JSONL span trace written by an armed run "
+                    "('repro train --trace' or REPRO_TRACE).",
+    )
+    parser.add_argument("action", choices=["summarize"],
+                        help="'summarize' prints per-span aggregates, event "
+                             "counts, and any recorded metrics snapshots")
+    parser.add_argument("path", help="trace file (JSONL)")
+    return parser
+
+
+def run_trace(argv) -> int:
+    from repro.obs import read_trace, summarize_trace
+
+    args = build_trace_parser().parse_args(argv)
+    records = read_trace(args.path)
+    summary = summarize_trace(records)
+    for manifest in summary["manifests"]:
+        attrs = manifest.get("attrs", {})
+        print("[manifest] " + " ".join(f"{key}={attrs[key]}"
+                                       for key in sorted(attrs)))
+    rows = [[name, entry["count"], round(entry["total_s"], 4),
+             f"{entry['mean_s']:.6f}", f"{entry['max_s']:.6f}",
+             entry["unclosed"] or "-"]
+            for name, entry in sorted(summary["spans"].items(),
+                                      key=lambda item: -item[1]["total_s"])]
+    print(format_table(
+        ["span", "count", "total s", "mean s", "max s", "unclosed"], rows,
+        title=f"trace summary ({args.path}, {len(records)} records)"))
+    if summary["events"]:
+        rows = [[name, count]
+                for name, count in sorted(summary["events"].items())]
+        print(format_table(["event", "count"], rows, title="events"))
+    for snapshot_record in summary["metrics"]:
+        counters = snapshot_record.get("snapshot", {}).get("counters", {})
+        if counters:
+            rows = [[name, value] for name, value in sorted(counters.items())]
+            print(format_table(
+                ["counter", "value"], rows,
+                title=f"metrics ({snapshot_record.get('label', '?')})"))
+    return 0
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Export the process-ambient metrics registry "
+                    "(counters, gauges, histogram summaries).",
+    )
+    parser.add_argument("--dump", action="store_true",
+                        help="print the registry in the Prometheus text "
+                             "exposition format (default: a JSON snapshot)")
+    return parser
+
+
+def run_metrics(argv) -> int:
+    import json
+
+    from repro.obs import get_registry
+
+    args = build_metrics_parser().parse_args(argv)
+    registry = get_registry()
+    if args.dump:
+        text = registry.prometheus_text()
+        sys.stdout.write(text if text else "# no metrics recorded\n")
+    else:
+        print(json.dumps(registry.snapshot(), indent=2))
+    return 0
+
+
 _SUBCOMMANDS = {"train": run_train, "bench": run_bench, "export": run_export,
-                "query": run_query}
+                "query": run_query, "trace": run_trace,
+                "metrics": run_metrics}
 
 
 def run(argv=None) -> int:

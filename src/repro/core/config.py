@@ -73,6 +73,16 @@ class CoANEConfig:
     # config > `repro train --backend` (which writes this field) > env.
     backend: str = "auto"
 
+    # --- observability (repro.obs) ---
+    # trace_path arms span tracing for the fit: epoch/batch spans, a run
+    # manifest, and a final metrics snapshot are appended as JSONL to this
+    # file.  Precedence mirrors the backend knob: config > `repro train
+    # --trace` (which writes this field) > the REPRO_TRACE environment
+    # variable (read at import so pool workers inherit it).  Tracing never
+    # touches an RNG stream or a numeric path; an armed fit is bit-identical
+    # to a disarmed one.
+    trace_path: str | None = None
+
     # --- durability (repro.resilience) ---
     # checkpoint_path enables epoch-boundary training-state checkpoints
     # (atomic, checksummed); fit(resume=True) restarts from the last one and
@@ -131,6 +141,8 @@ class CoANEConfig:
             raise ValueError("backend must be 'auto', 'numpy', or 'torch'")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.trace_path is not None and not str(self.trace_path).strip():
+            raise ValueError("trace_path must be None or a non-empty path")
         if self.stream and self.batch_size is None:
             raise ValueError(
                 "stream=True feeds the trainer mini-batches from shards; "

@@ -21,6 +21,9 @@ to the historical single-process pipeline.
 
 from __future__ import annotations
 
+import math
+import time
+
 import numpy as np
 
 from repro.core.config import CoANEConfig
@@ -36,7 +39,12 @@ from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.sparse import SegmentGroups as _SegmentGroups
 from repro.graph.sparse import expand_ranges
 from repro.nn import Adam, Tensor, compute_dtype, use_backend
+from repro.nn.backend import active_backend_name
 from repro.nn.tensor import clear_selector_cache
+from repro.obs.manifest import run_manifest
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer, record_metrics, use_trace
+from repro.obs.tracing import span as trace_span
 from repro.resilience.faults import fault_check
 from repro.resilience.training import (
     TrainingState,
@@ -176,7 +184,12 @@ class CoANE:
         walk_rng, context_rng, sampler_rng, init_rng, batch_rng = spawn_rngs(cfg.seed, 5)
         n = graph.num_nodes
 
-        with use_backend(cfg.backend), compute_dtype(cfg.dtype):
+        with use_trace(cfg.trace_path), use_backend(cfg.backend), \
+                compute_dtype(cfg.dtype):
+            tracer = get_tracer()
+            if tracer is not None:
+                tracer.manifest(run_manifest(
+                    cfg, num_nodes=n, resolved_backend=active_backend_name()))
             attributes = self._input_attributes(graph)
             if corpus is None:
                 corpus = self._build_corpus(graph, attributes, walk_rng, context_rng)
@@ -225,17 +238,34 @@ class CoANE:
                     self.history_ = list(state.history)
                     start_epoch = state.epoch + 1
 
+            epoch_seconds = get_registry().histogram("train_epoch_seconds")
+            epochs_total = get_registry().counter("train_epochs_total")
             for epoch in range(start_epoch, cfg.epochs):
-                if cfg.batch_size is None:
-                    record = self._full_batch_step(
-                        model, optimizer, corpus, n, attributes,
-                        sampler, pos_rows, pos_cols, pos_weights,
-                    )
-                else:
-                    record = self._mini_batch_epoch(
-                        model, optimizer, corpus, n, attributes,
-                        sampler, pos_rows, pos_cols, pos_weights, batch_rng,
-                    )
+                epoch_start = time.perf_counter()
+                with trace_span("train.epoch", epoch=epoch) as active_span:
+                    if cfg.batch_size is None:
+                        record = self._full_batch_step(
+                            model, optimizer, corpus, n, attributes,
+                            sampler, pos_rows, pos_cols, pos_weights,
+                        )
+                    else:
+                        record = self._mini_batch_epoch(
+                            model, optimizer, corpus, n, attributes,
+                            sampler, pos_rows, pos_cols, pos_weights, batch_rng,
+                        )
+                    if active_span is not None:
+                        # Armed-only diagnostics: the grad norm costs real
+                        # work (read-only numpy over grads that already
+                        # exist), so it is not computed on disarmed runs.
+                        attrs = dict(record)
+                        attrs["grad_norm"] = self._grad_norm(model)
+                        streamed = getattr(corpus, "max_rows_materialized",
+                                           None)
+                        if streamed is not None:
+                            attrs["streamed_rows"] = int(streamed)
+                        active_span.set(**attrs)
+                epoch_seconds.observe(time.perf_counter() - epoch_start)
+                epochs_total.inc()
                 record["epoch"] = epoch
                 self.history_.append(record)
                 for hook in cfg.history_hooks:
@@ -251,6 +281,9 @@ class CoANE:
                 fault_check("train.epoch", (epoch,))
 
             self.embeddings_ = corpus.embed_all(model)
+            # Counters evaporate with the process; an armed trace keeps the
+            # final snapshot so `repro trace summarize` can report them.
+            record_metrics(get_registry().snapshot(), label="train.fit")
         return self
 
     def _load_resume_state(self, fingerprint, snapshot):
@@ -345,6 +378,23 @@ class CoANE:
         return self.fit(graph).transform()
 
     # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _grad_norm(model) -> float:
+        """Global L2 norm of the current parameter gradients.
+
+        A trace-only diagnostic: it reads gradients the optimizer step just
+        consumed — plain read-only numpy, no RNG, no writes — so computing it
+        (or not) can never perturb the fit.
+        """
+        total = 0.0
+        for param in model.parameters():
+            grad = getattr(param, "grad", None)
+            if grad is None:
+                continue
+            flat = np.asarray(grad, dtype=np.float64).ravel()
+            total += float(flat @ flat)
+        return math.sqrt(total)
+
     def _input_attributes(self, graph: AttributedGraph) -> np.ndarray:
         """Node attributes, or identity rows for the WF (no-attributes) ablation."""
         if self.config.use_attribute_input:
@@ -480,6 +530,9 @@ class CoANE:
             batch_contexts, local_segments = corpus.batch(batch)
             if len(local_segments) == 0:
                 continue
+            batch_span = trace_span("train.batch", index=num_batches,
+                                    size=len(batch))
+            batch_span.__enter__()
             embeddings = model.embed(batch_contexts, local_segments, len(batch))
 
             pair_rows, pair_counts = self._pair_groups.rows_for(batch)
@@ -515,7 +568,10 @@ class CoANE:
             total.backward()
             optimizer.step()
             cached[batch] = embeddings.data
-            totals["loss"] += total.item()
+            batch_loss = total.item()
+            batch_span.set(loss=batch_loss)
+            batch_span.__exit__(None, None, None)
+            totals["loss"] += batch_loss
             totals["positive"] += pos.item()
             totals["negative"] += neg.item()
             totals["attribute"] += att.item()

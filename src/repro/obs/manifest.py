@@ -1,0 +1,80 @@
+"""Per-run provenance: who produced this trace, from what code and config.
+
+Every armed training run opens its trace with one ``manifest`` record —
+seed, backend, dtype, a digest of the normalised configuration, and git
+provenance — so a trace file read weeks later can be tied back to the
+commit and knobs that produced it.  The git-provenance logic is the same
+one ``benchmarks/conftest.run_context`` stamps under every results table;
+it lives here now and the bench harness formats its one-liner from this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+
+
+def git_provenance(root: str = None) -> dict:
+    """``{"commit": <short-sha or "unknown">, "dirty": bool}`` for ``root``.
+
+    Dirty detection is best-effort over tracked files only, excluding the
+    artefacts a benchmark or perf run rewrites itself (``benchmarks/results``
+    and ``BENCH_*.json``) and docs (``*.md``) — none of those can affect a
+    run, and excluding them keeps a pristine regeneration from looking
+    hand-edited.  Untracked code is invisible here: the stamp is provenance
+    evidence, not a tamper-proof seal.
+    """
+    if root is None:
+        root = os.getcwd()
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        dirty = bool(subprocess.run(
+            ["git", "status", "--porcelain", "-uno", "--",
+             ".", ":(exclude)benchmarks/results", ":(exclude)BENCH_*.json",
+             ":(exclude)*.md"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout.strip())
+    except (OSError, subprocess.CalledProcessError):
+        return {"commit": "unknown", "dirty": False}
+    return {"commit": commit, "dirty": dirty}
+
+
+def config_digest(config) -> str:
+    """Short digest of a config's reconstructible snapshot.
+
+    Uses :func:`repro.utils.persistence.normalized_config`, so two configs
+    digest equal exactly when a checkpoint would consider them equivalent.
+    """
+    from repro.utils.persistence import normalized_config
+
+    snapshot = normalized_config(config)
+    blob = json.dumps(snapshot, sort_keys=True).encode()
+    return hashlib.blake2b(blob, digest_size=8).hexdigest()
+
+
+def run_manifest(config=None, root: str = None, **extra) -> dict:
+    """The provenance attributes stamped on a trace's ``manifest`` record."""
+    import numpy
+
+    provenance = git_provenance(root)
+    manifest = {
+        "commit": provenance["commit"] + ("-dirty" if provenance["dirty"]
+                                          else ""),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.system() + "-" + platform.machine(),
+        "pid": os.getpid(),
+    }
+    if config is not None:
+        manifest["seed"] = config.seed
+        manifest["backend"] = config.backend
+        manifest["dtype"] = config.dtype
+        manifest["config_digest"] = config_digest(config)
+    manifest.update(extra)
+    return manifest

@@ -1,0 +1,287 @@
+"""The metrics registry: counters, gauges, and log-bucketed histograms.
+
+Every runtime subsystem (trainer, sharded generation, the shard store, the
+serving front door, the IVF tier) accumulates its operational counters here
+instead of in bespoke per-object dataclasses, so one ``snapshot()`` — or one
+Prometheus text scrape — answers "where do time and failures go" for the
+whole process.
+
+Design rules:
+
+* **Instruments are cheap.**  ``Counter.inc`` is an integer add, ``Gauge.set``
+  an assignment, ``Histogram.observe`` one ``bisect`` plus three adds — cheap
+  enough to leave permanently enabled on every hot path that is not a
+  per-element inner loop.
+* **Histograms use log-scaled fixed buckets.**  Latencies span six orders of
+  magnitude; geometric bucket bounds (default ``1 µs … ~137 s`` doubling)
+  give constant *relative* resolution everywhere in that range, and
+  :meth:`Histogram.percentile` interpolates p50/p95/p99 out of the counts
+  without retaining samples.
+* **Label support.**  ``registry.counter("x", shard=3)`` and
+  ``registry.counter("x", shard=4)`` are distinct series of one metric
+  family, exported as ``x{shard="3"}`` / ``x{shard="4"}``.
+* **Process-global with scoped override.**  :func:`get_registry` returns the
+  ambient registry; :func:`use_registry` pushes a fresh one for a scope —
+  the same stack idiom as :func:`repro.nn.backend.use_backend` — so tests
+  (and per-stage bench measurement) isolate their counts without touching
+  global state.
+
+Nothing in this module touches an RNG stream or a numeric training path:
+metrics read clocks and counts, never data.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import math
+import threading
+
+
+def default_time_buckets() -> tuple:
+    """Geometric (doubling) bucket upper bounds from 1 µs to ~137 s.
+
+    28 finite buckets; everything beyond the last bound lands in the
+    implicit ``+Inf`` bucket.  Suitable for any wall-clock duration this
+    library measures, from a cache hit to a full training run's epoch.
+    """
+    return tuple(1e-6 * 2.0 ** k for k in range(28))
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(label_key: tuple) -> str:
+    if not label_key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in label_key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count (events, rows, retries)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1):
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, pool size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile extraction.
+
+    ``bounds`` are the finite bucket upper edges (ascending); observations
+    above the last bound are counted in the overflow bucket.  ``counts`` has
+    ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds=None):
+        self.bounds = tuple(float(b) for b in (bounds or default_time_buckets()))
+        if list(self.bounds) != sorted(self.bounds) or len(self.bounds) < 1:
+            raise ValueError("histogram bounds must be ascending and non-empty")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value):
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (0-100) from the bucket counts.
+
+        Geometric interpolation inside the containing bucket matches the
+        log-scaled bounds; the answer is exact to within one bucket's
+        relative width (a factor of 2 by default) and clamped to the
+        observed ``[min, max]`` range.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= rank and bucket_count:
+                if index >= len(self.bounds):       # overflow bucket
+                    return self.max
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index else upper / 2.0
+                fraction = 1.0 - (running - rank) / bucket_count
+                if lower > 0 and upper > 0:
+                    estimate = lower * (upper / lower) ** fraction
+                else:  # pragma: no cover - non-positive custom bounds
+                    estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named metric families, each a set of labelled series.
+
+    Instrument accessors are get-or-create and idempotent: the first
+    ``counter("spill_writes", shard=0)`` creates the series, every later
+    call returns the same object.  A name registered as one instrument kind
+    cannot be re-registered as another.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._kinds = {}      # name -> "counter" | "gauge" | "histogram"
+        self._series = {}     # name -> {label_key: instrument}
+
+    def _get(self, kind: str, name: str, labels: dict, factory):
+        with self._lock:
+            registered = self._kinds.get(name)
+            if registered is None:
+                self._kinds[name] = kind
+                self._series[name] = {}
+            elif registered != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {registered}, not a {kind}")
+            series = self._series[name]
+            key = _label_key(labels)
+            instrument = series.get(key)
+            if instrument is None:
+                instrument = factory()
+                series[key] = instrument
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(self, name: str, bounds=None, **labels) -> Histogram:
+        return self._get("histogram", name, labels,
+                         lambda: Histogram(bounds=bounds))
+
+    # ------------------------------------------------------------- exporters
+    def snapshot(self) -> dict:
+        """Plain-dict view of every series, JSON-serialisable as-is.
+
+        ``{"counters": {...}, "gauges": {...}, "histograms": {...}}`` with
+        label-qualified series names (``name{k="v"}``) as keys; histogram
+        values are their :meth:`Histogram.summary` dicts.
+        """
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        with self._lock:
+            for name, kind in sorted(self._kinds.items()):
+                for key, instrument in sorted(self._series[name].items()):
+                    qualified = name + _format_labels(key)
+                    if kind == "counter":
+                        out["counters"][qualified] = instrument.value
+                    elif kind == "gauge":
+                        out["gauges"][qualified] = instrument.value
+                    else:
+                        out["histograms"][qualified] = instrument.summary()
+        return out
+
+    def prometheus_text(self) -> str:
+        """The registry in the Prometheus text exposition format.
+
+        Counters and gauges export one sample per series; histograms export
+        cumulative ``_bucket{le=...}`` samples plus ``_sum`` and ``_count``,
+        exactly as a Prometheus client library would.
+        """
+        lines = []
+        with self._lock:
+            for name, kind in sorted(self._kinds.items()):
+                lines.append(f"# TYPE {name} {kind}")
+                for key, instrument in sorted(self._series[name].items()):
+                    labels = _format_labels(key)
+                    if kind in ("counter", "gauge"):
+                        lines.append(f"{name}{labels} {instrument.value}")
+                        continue
+                    cumulative = 0
+                    for bound, count in zip(instrument.bounds,
+                                            instrument.counts):
+                        cumulative += count
+                        le = dict(key)
+                        le["le"] = repr(bound)
+                        edge = _label_key(le)
+                        lines.append(f"{name}_bucket{_format_labels(edge)} "
+                                     f"{cumulative}")
+                    inf = dict(key)
+                    inf["le"] = "+Inf"
+                    lines.append(f"{name}_bucket{_format_labels(_label_key(inf))} "
+                                 f"{instrument.count}")
+                    lines.append(f"{name}_sum{labels} {instrument.total}")
+                    lines.append(f"{name}_count{labels} {instrument.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self):
+        with self._lock:
+            self._kinds.clear()
+            self._series.clear()
+
+
+#: Ambient registry stack; [-1] is active (the process-global default at [0]).
+_REGISTRIES = [MetricsRegistry()]
+
+
+def get_registry() -> MetricsRegistry:
+    """The ambient metrics registry every instrumentation site writes to."""
+    return _REGISTRIES[-1]
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry = None):
+    """Scope a registry override (a fresh one by default) — the test /
+    per-stage-measurement idiom, mirroring ``use_backend``."""
+    registry = MetricsRegistry() if registry is None else registry
+    _REGISTRIES.append(registry)
+    try:
+        yield registry
+    finally:
+        _REGISTRIES.pop()

@@ -1,0 +1,107 @@
+"""Opt-in per-op profiling of the active compute backend.
+
+:class:`ProfilingOps` is an :class:`~repro.nn.backend.ArrayOps` that wraps
+another backend and forwards every op verbatim, recording call counts and
+cumulative seconds per op name into a metrics registry.  Because it only
+delegates — same arrays in, same arrays out, no copies, no reordering — a
+profiled fit is numerically bit-identical to an unprofiled one; what it
+costs is two ``perf_counter`` reads and a histogram observe per op call,
+which is why it is opt-in rather than ambient.
+
+Usage::
+
+    with profiled_backend() as prof:
+        model.fit(graph)
+    print(prof.report())        # [(op, calls, seconds), ...] hottest first
+
+``profiled_backend()`` pushes the proxy onto the backend stack (clearing the
+selector cache on entry and exit, since cache entries are keyed by backend
+name and the proxy announces itself as ``profile[inner]``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+from repro.nn import backend as _backend
+from repro.obs.metrics import MetricsRegistry
+
+#: Every op of the ArrayOps protocol; the proxy forwards exactly these.
+_OPS = ("matmul", "outer", "exp", "log", "sqrt", "tanh", "logaddexp",
+        "clip", "where", "sum", "bincount", "take_rows", "scatter_rows",
+        "segment_sum", "sparse_matmul", "cast", "zeros", "zeros_like")
+
+
+def _timed_forward(op_name):
+    def call(self, *args, **kwargs):
+        inner_op = getattr(self.inner, op_name)
+        start = time.perf_counter()
+        result = inner_op(*args, **kwargs)
+        self._histogram(op_name).observe(time.perf_counter() - start)
+        return result
+    call.__name__ = op_name
+    return call
+
+
+class ProfilingOps(_backend.ArrayOps):
+    """An ArrayOps proxy that measures the backend it wraps.
+
+    ``registry`` defaults to a private :class:`MetricsRegistry` so profiling
+    one fit never pollutes the ambient process registry; pass
+    ``get_registry()`` to merge into it instead.
+    """
+
+    def __init__(self, inner: _backend.ArrayOps, registry: MetricsRegistry = None):
+        self.inner = inner
+        self.registry = MetricsRegistry() if registry is None else registry
+        self.name = f"profile[{inner.name}]"
+        self._cache = {}
+
+    def _histogram(self, op_name):
+        histogram = self._cache.get(op_name)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                "backend_op_seconds", op=op_name, backend=self.inner.name)
+            self._cache[op_name] = histogram
+        return histogram
+
+    def threads(self) -> int:
+        return self.inner.threads()
+
+    def report(self) -> list:
+        """``[(op, calls, total_seconds), ...]`` sorted by total seconds."""
+        rows = []
+        for qualified, summary in self.registry.snapshot()["histograms"].items():
+            if not qualified.startswith("backend_op_seconds"):
+                continue
+            op = dict(
+                part.split("=", 1) for part in
+                qualified[qualified.index("{") + 1:-1].replace('"', "").split(",")
+            )["op"]
+            rows.append((op, summary["count"], summary["sum"]))
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows
+
+
+for _op in _OPS:
+    setattr(ProfilingOps, _op, _timed_forward(_op))
+del _op
+
+
+@contextlib.contextmanager
+def profiled_backend(registry: MetricsRegistry = None):
+    """Scope the active backend behind a :class:`ProfilingOps` proxy.
+
+    The selector cache is cleared on entry and exit: entries are keyed by
+    backend name and the proxy's differs from the inner backend's, so state
+    built on either side of the scope must not leak across it.
+    """
+    proxy = ProfilingOps(_backend.get_backend(), registry=registry)
+    _backend._ACTIVE.append(proxy)
+    _backend.clear_selector_cache()
+    try:
+        yield proxy
+    finally:
+        _backend._ACTIVE.pop()
+        _backend.clear_selector_cache()

@@ -11,6 +11,7 @@ numbers ``BENCH_pipeline.json`` tracks across PRs.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
@@ -20,6 +21,7 @@ import numpy as np
 from repro.core import CoANE, CoANEConfig
 from repro.core.negative_sampling import _ExclusionIndex, _context_membership
 from repro.core.trainer import _SegmentGroups
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.perf import reference
 from repro.utils.alias import AliasTable
 from repro.utils.rng import ensure_rng
@@ -43,13 +45,37 @@ def _load_graph(dataset: str, scale: float, seed: int):
     return load_dataset(dataset, seed=seed, scale=scale)
 
 
-def _stage_entry(seconds: float, items: int, unit: str) -> dict:
-    return {
+def _stage_entry(seconds: float, items: int, unit: str,
+                 registry: MetricsRegistry = None) -> dict:
+    entry = {
         "seconds": seconds,
         "items": int(items),
         "throughput": (items / seconds) if seconds > 0 else None,
         "unit": unit,
     }
+    return _attach_metrics(entry, registry)
+
+
+def _attach_metrics(entry: dict, registry: MetricsRegistry) -> dict:
+    """Add the stage registry's snapshot under ``"metrics"`` when non-empty."""
+    if registry is not None:
+        snapshot = registry.snapshot()
+        if any(snapshot.values()):
+            entry["metrics"] = snapshot
+    return entry
+
+
+@contextlib.contextmanager
+def _metered_stage(timer: Timer, name: str):
+    """Time one bench stage under its own scoped metrics registry.
+
+    Yields the registry so the stage's counters/histograms (e.g. the
+    trainer's ``train_epoch_seconds``) land in the report instead of
+    accumulating invisibly in the process-global registry across stages.
+    """
+    registry = MetricsRegistry()
+    with timer.stage(name), use_registry(registry):
+        yield registry
 
 
 def _time_epochs(graph, config: CoANEConfig) -> tuple:
@@ -106,66 +132,72 @@ def run_pipeline_bench(dataset: str = None, scale: float = 1.0, seed: int = 0,
     timer = Timer()
     stages = {}
 
-    with timer.stage("walks"):
+    with _metered_stage(timer, "walks") as stage_registry:
         walker = RandomWalker(graph, seed=seed)
         walks = walker.walk(cfg.walk_length, num_walks=cfg.num_walks)
-    stages["walks"] = _stage_entry(timer.stages["walks"], len(walks), "walks/s")
+    stages["walks"] = _stage_entry(timer.stages["walks"], len(walks), "walks/s",
+                                   stage_registry)
 
-    with timer.stage("contexts"):
+    with _metered_stage(timer, "contexts") as stage_registry:
         context_set = extract_contexts(walks, cfg.context_size, n,
                                        subsample_t=cfg.subsample_t, seed=seed)
     stages["contexts"] = _stage_entry(timer.stages["contexts"],
-                                      context_set.num_contexts, "contexts/s")
+                                      context_set.num_contexts, "contexts/s",
+                                      stage_registry)
 
-    with timer.stage("context_matrices"):
+    with _metered_stage(timer, "context_matrices") as stage_registry:
         contexts_flat = attribute_context_matrices(context_set, graph.attributes)
     stages["context_matrices"] = _stage_entry(timer.stages["context_matrices"],
-                                              context_set.num_contexts, "contexts/s")
+                                              context_set.num_contexts,
+                                              "contexts/s", stage_registry)
 
-    with timer.stage("cooccurrence"):
+    with _metered_stage(timer, "cooccurrence") as stage_registry:
         cooccurrence = build_cooccurrence(context_set, graph)
     stages["cooccurrence"] = _stage_entry(timer.stages["cooccurrence"],
-                                          cooccurrence.D.nnz, "nonzeros/s")
+                                          cooccurrence.D.nnz, "nonzeros/s",
+                                          stage_registry)
 
-    with timer.stage("sampler_build"):
+    with _metered_stage(timer, "sampler_build") as stage_registry:
         sampler = _make_sampler(cooccurrence, context_set, graph, cfg, seed)
         negatives = sampler.sample(np.arange(n))
     stages["sampler_build"] = _stage_entry(timer.stages["sampler_build"],
-                                           negatives.size, "negatives/s")
+                                           negatives.size, "negatives/s",
+                                           stage_registry)
 
-    with timer.stage("epoch_full_batch"):
+    with _metered_stage(timer, "epoch_full_batch") as stage_registry:
         epoch_seconds, timed = _time_epochs(graph, _bench_config(seed, epochs,
                                                                  **config_overrides))
-    stages["epoch_full_batch"] = {
+    stages["epoch_full_batch"] = _attach_metrics({
         "seconds": epoch_seconds,
         "items": timed,
         "throughput": (1.0 / epoch_seconds) if epoch_seconds else None,
         "unit": "epochs/s",
-    }
+    }, stage_registry)
 
     if batch_size:
-        with timer.stage("epoch_mini_batch"):
+        with _metered_stage(timer, "epoch_mini_batch") as stage_registry:
             mb_seconds, mb_timed = _time_epochs(
                 graph, _bench_config(seed, epochs, batch_size=batch_size,
                                      **config_overrides))
-        stages["epoch_mini_batch"] = {
+        stages["epoch_mini_batch"] = _attach_metrics({
             "seconds": mb_seconds,
             "items": mb_timed,
             "throughput": (1.0 / mb_seconds) if mb_seconds else None,
             "unit": "epochs/s",
-        }
+        }, stage_registry)
 
     # Re-time the epoch stage under every other importable backend so the
     # report carries a like-for-like per-backend comparison (same graph,
     # same seed, identical initial weights — init is numpy-pinned).
     comparison = {backend: {"epoch_seconds": epoch_seconds}}
-    for other in nn_backend.available_backends():
-        if other == backend:
-            continue
-        other_seconds, _ = _time_epochs(
-            graph, _bench_config(seed, epochs,
-                                 **dict(config_overrides, backend=other)))
-        comparison[other] = {"epoch_seconds": other_seconds}
+    with use_registry(MetricsRegistry()):  # keep re-timing fits out of the
+        for other in nn_backend.available_backends():  # ambient registry
+            if other == backend:
+                continue
+            other_seconds, _ = _time_epochs(
+                graph, _bench_config(seed, epochs,
+                                     **dict(config_overrides, backend=other)))
+            comparison[other] = {"epoch_seconds": other_seconds}
     baseline = comparison.get("numpy", {}).get("epoch_seconds")
     for entry in comparison.values():
         seconds = entry["epoch_seconds"]

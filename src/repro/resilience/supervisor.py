@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import event as trace_event
 from repro.resilience.faults import InjectedKill
 
 
@@ -112,6 +114,16 @@ class TaskFailedError(RuntimeError):
     """A task failed even after retries *and* in-process degradation."""
 
 
+def _observe(action: str, **attrs):
+    """Record one supervision action on the ambient metrics registry and —
+    when a tracer is armed — as a trace event.  Every ``report.<field> += 1``
+    site calls this with the matching action, so the JSONL trace and the
+    :class:`SupervisorReport` are two views of the same bookkeeping and can
+    never disagree."""
+    get_registry().counter(f"supervisor_{action}_total").inc()
+    trace_event(f"supervisor.{action}", **attrs)
+
+
 def run_supervised(tasks, pooled_fn, local_fn, *, num_workers: int,
                    policy: RetryPolicy = None, initializer=None,
                    initargs=(), mp_context=None):
@@ -151,6 +163,7 @@ def run_supervised(tasks, pooled_fn, local_fn, *, num_workers: int,
 
     def degrade(index: int, attempt: int):
         report.degraded.append(index)
+        _observe("degraded", task=index, attempt=attempt)
         try:
             results[index] = local_fn(tasks[index], attempt)
         except InjectedKill:
@@ -185,6 +198,7 @@ def run_supervised(tasks, pooled_fn, local_fn, *, num_workers: int,
                 except Exception:
                     # The pool itself is broken; replace it and try again.
                     report.respawns += 1
+                    _observe("respawn", reason="pool_broken", task=index)
                     pool.terminate()
                     pool.join()
                     pool = spawn_pool()
@@ -221,6 +235,10 @@ def run_supervised(tasks, pooled_fn, local_fn, *, num_workers: int,
                     except Exception as error:
                         report.failures += 1
                         report.retries += 1
+                        _observe("failure", task=index, attempt=attempt,
+                                 error=type(error).__name__)
+                        _observe("retry", task=index, attempt=attempt + 1,
+                                 reason="failure")
                         report.errors.append(f"task {index} attempt {attempt}: "
                                              f"{type(error).__name__}: {error}")
                         not_before[index] = (time.monotonic()
@@ -238,6 +256,12 @@ def run_supervised(tasks, pooled_fn, local_fn, *, num_workers: int,
                 report.timeouts += 1
                 report.retries += 1
                 report.respawns += 1
+                _observe("timeout", task=timed_out,
+                         attempt=inflight[timed_out][1],
+                         deadline_s=policy.task_timeout)
+                _observe("retry", task=timed_out,
+                         attempt=inflight[timed_out][1] + 1, reason="timeout")
+                _observe("respawn", reason="timeout", task=timed_out)
                 report.errors.append(
                     f"task {timed_out} attempt {inflight[timed_out][1]}: "
                     f"timeout after {policy.task_timeout}s; pool re-spawned")

@@ -28,6 +28,8 @@ import os
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as trace_span
 from repro.resilience.faults import fault_check
 from repro.resilience.supervisor import RetryPolicy, run_supervised
 from repro.scale.store import ShardStore
@@ -67,9 +69,15 @@ def _walk_shard(graph, task, attempt: int = 0) -> np.ndarray:
     retried or degraded shard is bit-identical to a first-try one.
     """
     shard, start_nodes, walk_length, num_walks, seed_seq = task
-    fault_check("shard.walk", (shard, attempt))
-    walker = RandomWalker(graph, seed=np.random.default_rng(seed_seq))
-    return walker.walk(walk_length, num_walks=num_walks, start_nodes=start_nodes)
+    # The span opens before the fault site so an injected crash/kill leaves
+    # a span_start with no span_end — the trace shows *which* shard attempt
+    # died, which is what links supervisor retry events back to their cause.
+    with trace_span("shard.walk", shard=shard, attempt=attempt,
+                    nodes=len(start_nodes)):
+        fault_check("shard.walk", (shard, attempt))
+        walker = RandomWalker(graph, seed=np.random.default_rng(seed_seq))
+        return walker.walk(walk_length, num_walks=num_walks,
+                           start_nodes=start_nodes)
 
 
 #: Per-worker graph installed by the pool initializer, so the (potentially
@@ -173,6 +181,7 @@ def generate_context_shards(graph, *, walk_length: int, num_walks: int,
     walk_blocks, report = _map_shards(graph, tasks, num_workers, parallel,
                                       policy=policy)
     store.generation_report = report.as_dict() if report is not None else None
+    get_registry().counter("shard_tasks_total").inc(len(tasks))
 
     # Global reduce: subsampling probabilities must reflect the frequency of
     # each node across the WHOLE corpus, not one shard's slice of it.
@@ -181,10 +190,13 @@ def generate_context_shards(graph, *, walk_length: int, num_walks: int,
         position_counts += np.bincount(walks.ravel(), minlength=n)
 
     for i, walks in enumerate(walk_blocks):
-        context_set = extract_contexts(
-            walks, context_size, n, subsample_t=subsample_t,
-            seed=np.random.default_rng(context_seqs[i]),
-            node_frequency=position_counts,
-        )
+        with trace_span("shard.extract", shard=i) as extract_span:
+            context_set = extract_contexts(
+                walks, context_size, n, subsample_t=subsample_t,
+                seed=np.random.default_rng(context_seqs[i]),
+                node_frequency=position_counts,
+            )
+            if extract_span is not None:
+                extract_span.set(windows=int(len(context_set.windows)))
         store.append(context_set.windows, context_set.midst)
     return store

@@ -33,6 +33,7 @@ import time
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.resilience.faults import fault_corrupt_file
 from repro.resilience.integrity import (
     ShardCorruptError,
@@ -135,8 +136,10 @@ class ShardStore:
         free.  Persistent failure raises :class:`ShardCorruptError`.
         """
         path = os.path.join(self._dir, f"shard_{shard:05d}_windows.npy")
+        registry = get_registry()
         for attempt in range(SPILL_WRITE_RETRIES + 1):
             checksum = atomic_save_npy(path, windows)
+            registry.counter("store_spill_writes_total").inc()
             fault_corrupt_file("store.spill", (shard, attempt), path)
             try:
                 load_verified_npy(path, checksum)
@@ -148,6 +151,9 @@ class ShardStore:
                         "failed verification — the target filesystem is "
                         "unreliable"
                     )
+                # The re-write below is the heal: the in-memory array is
+                # still the truth, the on-disk bytes were not.
+                registry.counter("store_spill_heals_total").inc()
                 continue
             # Not marked read-verified: first access re-checks the file, so
             # corruption arriving *between* write and read is still caught.
@@ -189,6 +195,7 @@ class ShardStore:
         if isinstance(block, str):
             mmap = self._mmaps.get(shard)
             if mmap is None:
+                get_registry().counter("store_spill_reads_total").inc()
                 if self.verify_reads and shard not in self._verified:
                     load_verified_npy(block, self._checksums.get(shard))
                     self._verified.add(shard)

@@ -48,6 +48,7 @@ import time
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.resilience.integrity import (
     CheckpointCorruptError,
     atomic_replace,
@@ -564,9 +565,11 @@ class IVFIndex:
             return (np.empty((num_queries, 0), dtype=np.int64),
                     np.empty((num_queries, 0), dtype=np.float32))
         required = min(n, k + (1 if exclude is not None else 0))
+        registry = get_registry()
         if nprobe >= self.n_cells or required >= n:
             # Probing every cell is by definition the exact scan; delegate so
             # the answer is bit-identical to the exact tier.
+            registry.counter("ivf_exact_delegations_total").inc(num_queries)
             return self._exact.search(raw_queries, topk=topk, exclude=exclude)
 
         self._ensure_packed()
@@ -574,12 +577,16 @@ class IVFIndex:
             queries = _normalize_rows(queries)
         coarse = self._coarse_scores(queries)
         cells = self._ranked_cells(coarse, nprobe)
+        registry.counter("ivf_searches_total").inc(num_queries)
+        registry.counter("ivf_probes_total").inc(int(cells.size))
 
         # Queries whose nprobe cells hold too few members escalate down the
         # full cell ranking until `required` candidates are reachable; rows
         # stay rectangular by giving escalated queries their own ragged scan.
         totals = self._counts[cells].sum(axis=1)
         short_rows = np.flatnonzero(totals < required)
+        if len(short_rows):
+            registry.counter("ivf_escalations_total").inc(len(short_rows))
         ragged = {}
         for row in short_rows:
             full_rank = np.lexsort((np.arange(self.n_cells), -coarse[row]))
@@ -710,6 +717,8 @@ class IVFIndex:
         shortlist = min(approx_scores.shape[1],
                         max(self.rerank or 8 * k, k))
         short_ids, _ = self._select_topk(approx_scores, id_mat, shortlist)
+        get_registry().counter("ivf_rerank_candidates_total").inc(
+            int((short_ids != self.num_vectors).sum()))
         # Rows with fewer candidates than `shortlist` carry the sentinel id
         # (== num_vectors); gather through a clipped view, then restore the
         # sentinel slots to -inf before the final cut.

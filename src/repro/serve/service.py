@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn import no_grad
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.faults import fault_check
 from repro.serve.ann import IVFIndex
 from repro.serve.checkpoint import Checkpoint
@@ -56,21 +57,35 @@ class _PendingQuery:
 
 
 class _LRUCache:
-    """Bounded mapping with least-recently-used eviction and hit counters."""
+    """Bounded mapping with least-recently-used eviction and hit counters.
 
-    def __init__(self, capacity: int):
+    The counters live on a :class:`~repro.obs.MetricsRegistry` (a private one
+    by default), so the service's cache series export alongside its other
+    metrics; ``hits`` / ``misses`` stay readable as plain attributes.
+    """
+
+    def __init__(self, capacity: int, registry: MetricsRegistry = None):
         self.capacity = int(capacity)
-        self.hits = 0
-        self.misses = 0
+        registry = MetricsRegistry() if registry is None else registry
+        self._hits = registry.counter("service_cache_hits_total")
+        self._misses = registry.counter("service_cache_misses_total")
         self._entries = OrderedDict()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     def get(self, key):
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self._misses.inc()
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._hits.inc()
         return entry
 
     def put(self, key, value):
@@ -88,18 +103,52 @@ class _LRUCache:
         self._entries.clear()
 
 
-@dataclass
 class ServiceStats:
-    """Search counters the service accumulates while answering (cache hit
-    and miss counts live on the LRU itself; :meth:`EmbeddingService.stats`
-    merges both views)."""
+    """Search counters the service accumulates while answering.
 
-    queries: int = 0
-    batches: int = 0
-    batched_queries: int = 0
-    search_seconds: float = 0.0
-    deadline_misses: int = 0        # searches that blew the deadline
-    degraded_responses: int = 0     # queries answered by those searches
+    Registry-backed: every field is a live instrument on the service's
+    :class:`~repro.obs.MetricsRegistry` (``service.metrics``), so the same
+    numbers are readable here as plain attributes, in
+    :meth:`EmbeddingService.stats` as the legacy dict, and in a Prometheus
+    scrape of ``service.metrics``.  Search time is a histogram, so armed
+    operators get p50/p95/p99 where the old dataclass only summed.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self._queries = registry.counter("service_queries_total")
+        self._batches = registry.counter("service_batches_total")
+        self._batched_queries = registry.counter(
+            "service_batched_queries_total")
+        self._search_seconds = registry.histogram("service_search_seconds")
+        # searches that blew the deadline / queries answered by them
+        self._deadline_misses = registry.counter(
+            "service_deadline_misses_total")
+        self._degraded_responses = registry.counter(
+            "service_degraded_responses_total")
+
+    @property
+    def queries(self) -> int:
+        return self._queries.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def batched_queries(self) -> int:
+        return self._batched_queries.value
+
+    @property
+    def search_seconds(self) -> float:
+        return self._search_seconds.total
+
+    @property
+    def deadline_misses(self) -> int:
+        return self._deadline_misses.value
+
+    @property
+    def degraded_responses(self) -> int:
+        return self._degraded_responses.value
 
 
 class EmbeddingService:
@@ -163,10 +212,18 @@ class EmbeddingService:
         index_cls = IVFIndex if index_kind == "ivf" else EmbeddingIndex
         self.index = index_cls(checkpoint.embeddings, metric=metric,
                                **(index_options or {}))
-        self._cache = _LRUCache(cache_size)
+        #: Per-service registry: two services never share series, and a
+        #: Prometheus scrape of one (`service.metrics.prometheus_text()`)
+        #: covers searches, cache traffic, queueing, and deadlines together.
+        self.metrics = MetricsRegistry()
+        self._cache = _LRUCache(cache_size, registry=self.metrics)
         self._pending = []
         self._seed = seed
-        self._stats = ServiceStats()
+        self._stats = ServiceStats(self.metrics)
+        self._queue_depth = self.metrics.gauge("service_queue_depth")
+        self._batch_sizes = self.metrics.histogram(
+            "service_micro_batch_size",
+            bounds=[2.0 ** k for k in range(11)])
         self._edge_scorer = None
         self._label_scorer = None
         self._inductive = None
@@ -215,9 +272,10 @@ class EmbeddingService:
             fault_check("serve.search")
             ids, scores = self.index.search_ids(batch, topk=topk)
             elapsed = time.perf_counter() - start
-            self._stats.search_seconds += elapsed
-            self._stats.batches += 1
-            self._stats.batched_queries += len(missing)
+            self._stats._search_seconds.observe(elapsed)
+            self._stats._batches.inc()
+            self._stats._batched_queries.inc(len(missing))
+            self._batch_sizes.observe(len(missing))
             degraded = self._check_deadline(elapsed, len(missing))
             for row, position in enumerate(missing):
                 answer = (ids[row].copy(), scores[row].copy())
@@ -226,7 +284,7 @@ class EmbeddingService:
                                                 answer[0].copy(),
                                                 answer[1].copy(),
                                                 degraded=degraded)
-        self._stats.queries += len(nodes)
+        self._stats._queries.inc(len(nodes))
         return results
 
     def query_vector(self, vector, topk: int = None) -> QueryResult:
@@ -236,10 +294,11 @@ class EmbeddingService:
         fault_check("serve.search")
         ids, scores = self.index.search(vector, topk=topk)
         elapsed = time.perf_counter() - start
-        self._stats.search_seconds += elapsed
-        self._stats.queries += 1
-        self._stats.batches += 1
-        self._stats.batched_queries += 1
+        self._stats._search_seconds.observe(elapsed)
+        self._stats._queries.inc()
+        self._stats._batches.inc()
+        self._stats._batched_queries.inc()
+        self._batch_sizes.observe(1)
         degraded = self._check_deadline(elapsed, 1)
         return QueryResult(-1, ids[0], scores[0], degraded=degraded)
 
@@ -247,8 +306,8 @@ class EmbeddingService:
         """Record one search's deadline outcome; returns whether it missed."""
         if self.deadline_s is None or elapsed <= self.deadline_s:
             return False
-        self._stats.deadline_misses += 1
-        self._stats.degraded_responses += affected
+        self._stats._deadline_misses.inc()
+        self._stats._degraded_responses.inc(affected)
         return True
 
     # --------------------------------------------------------- micro-batching
@@ -265,6 +324,7 @@ class EmbeddingService:
         pending = _PendingQuery(node,
                                 self.default_topk if topk is None else int(topk))
         self._pending.append(pending)
+        self._queue_depth.set(len(self._pending))
         if len(self._pending) >= self.max_batch:
             self.flush()
         return pending
@@ -292,6 +352,8 @@ class EmbeddingService:
             self._pending = ([request for request in pending
                               if request.result is None] + self._pending)
             raise
+        finally:
+            self._queue_depth.set(len(self._pending))
         return len(pending)
 
     # ----------------------------------------------------------------- scoring
@@ -437,7 +499,16 @@ class EmbeddingService:
 
     # -------------------------------------------------------------------- stats
     def stats(self) -> dict:
-        """Serving counters (queries, batches, cache hits, search seconds)."""
+        """Serving counters (queries, batches, cache hits, search seconds).
+
+        A derived view over ``self.metrics``; every historical key is kept,
+        plus the derived ``cache_hit_ratio`` and the queue/micro-batch
+        gauges.  ``self.metrics.snapshot()`` / ``prometheus_text()`` expose
+        the same series with latency and batch-size percentiles.
+        """
+        hits = self._cache.hits
+        misses = self._cache.misses
+        lookups = hits + misses
         return {
             "queries": self._stats.queries,
             "batches": self._stats.batches,
@@ -446,9 +517,12 @@ class EmbeddingService:
             "deadline_s": self.deadline_s,
             "deadline_misses": self._stats.deadline_misses,
             "degraded_responses": self._stats.degraded_responses,
-            "cache_hits": self._cache.hits,
-            "cache_misses": self._cache.misses,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_ratio": hits / lookups if lookups else 0.0,
             "cache_entries": len(self._cache),
+            "queue_depth": len(self._pending),
+            "max_batch": self.max_batch,
             "index_vectors": self.index.num_vectors,
             "index_kind": self.index_kind,
             "scorer_refreshes": self._scorer_refreshes,

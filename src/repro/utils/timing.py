@@ -1,10 +1,20 @@
 """Wall-clock timing helpers used by the runtime experiment (Fig. 4d) and
-the :mod:`repro.perf` pipeline benchmark."""
+the :mod:`repro.perf` pipeline benchmark.
+
+Stage timing is built on :func:`repro.obs.tracing.span`: every
+``timer.stage(name)`` opens a ``stage.<name>`` span, and when tracing is
+armed the seconds recorded in the stage bucket are *the span's own*
+duration — so a trace of a benchmark run and the benchmark's JSON report
+can never disagree about how long a stage took.  Disarmed, the span is a
+no-op and a plain ``perf_counter`` delta fills the bucket instead.
+"""
 
 from __future__ import annotations
 
 import contextlib
 import time
+
+from repro.obs.tracing import span as trace_span
 
 
 class Timer:
@@ -26,7 +36,8 @@ class Timer:
         timer.stages["walks"]
 
     Re-entering a stage adds to its bucket rather than resetting it, which is
-    what per-epoch loops need.
+    what per-epoch loops need.  Each stage also emits a ``stage.<name>``
+    trace span when tracing is armed, sharing the span's measured duration.
     """
 
     def __init__(self):
@@ -45,11 +56,19 @@ class Timer:
     @contextlib.contextmanager
     def stage(self, name: str):
         """Time one named stage; repeated uses of a name accumulate."""
+        span = trace_span("stage." + name)
         start = time.perf_counter()
         try:
-            yield self
+            with span:
+                yield self
         finally:
-            self.stages[name] = self.stages.get(name, 0.0) + (time.perf_counter() - start)
+            # Armed: the span already measured the stage — use its clock so
+            # the trace and the timer report identical numbers.  Disarmed:
+            # the null span has no duration, fall back to our own delta.
+            seconds = getattr(span, "seconds", None)
+            if seconds is None:
+                seconds = time.perf_counter() - start
+            self.stages[name] = self.stages.get(name, 0.0) + seconds
 
     def total(self) -> float:
         """Sum of all stage buckets (falls back to ``elapsed`` when no stage

@@ -349,3 +349,40 @@ class TestTorchTrainerParity:
         norms = (np.linalg.norm(ref.embeddings_, axis=1)
                  * np.linalg.norm(torch_est.embeddings_, axis=1))
         assert (cosine[norms > 0] / norms[norms > 0]).min() > 0.999999
+
+
+class TestGoldensUnderArmedTracing:
+    """The repro.obs determinism contract: instrumentation never touches an
+    RNG stream or a numeric path, so the pinned goldens must hold byte for
+    byte with tracing fully armed — manifest, epoch/batch spans, grad-norm
+    diagnostics and all."""
+
+    def test_full_batch_goldens_hold_with_trace_armed(self, tmp_path):
+        from repro.obs.tracing import read_trace
+
+        trace = tmp_path / "golden_full.jsonl"
+        with nnb.use_backend("numpy"):
+            est = CoANE(_golden_config(
+                trace_path=str(trace))).fit(_golden_graph())
+        assert [r["loss"] for r in est.history_] == GOLDEN_FULL_BATCH_LOSSES
+        assert _digest(est.embeddings_) == GOLDEN_FULL_BATCH_DIGEST
+        # And the trace really was armed: the losses it recorded are the
+        # goldens themselves.
+        epochs = [r for r in read_trace(str(trace))
+                  if r["type"] == "span_end" and r["name"] == "train.epoch"]
+        assert [r["attrs"]["loss"] for r in epochs] == GOLDEN_FULL_BATCH_LOSSES
+        assert all(r["attrs"]["grad_norm"] >= 0.0 for r in epochs)
+
+    def test_mini_batch_goldens_hold_with_trace_armed(self, tmp_path):
+        from repro.obs.tracing import read_trace
+
+        trace = tmp_path / "golden_mini.jsonl"
+        with nnb.use_backend("numpy"):
+            est = CoANE(_golden_config(
+                epochs=3, batch_size=16,
+                trace_path=str(trace))).fit(_golden_graph())
+        assert [r["loss"] for r in est.history_] == GOLDEN_MINI_BATCH_LOSSES
+        assert _digest(est.embeddings_) == GOLDEN_MINI_BATCH_DIGEST
+        names = {r["name"] for r in read_trace(str(trace))
+                 if r["type"] == "span_start"}
+        assert {"train.epoch", "train.batch"} <= names

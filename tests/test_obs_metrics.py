@@ -1,0 +1,172 @@
+"""The metrics registry: instruments, labels, exporters, scoped override.
+
+The contract under test: instruments are get-or-create and kind-checked,
+histograms answer percentiles from log-scaled bucket counts without
+retaining samples, and ``use_registry`` scopes a registry exactly like
+``use_backend`` scopes a backend — so a test (or one bench stage) can
+isolate its counts without touching process-global state.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    default_time_buckets,
+    get_registry,
+    use_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self, registry):
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_moves_both_ways(self, registry):
+        gauge = registry.gauge("queue_depth")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("x")
+
+    def test_labels_create_distinct_series(self, registry):
+        registry.counter("spills", shard=0).inc()
+        registry.counter("spills", shard=1).inc(2)
+        counters = registry.snapshot()["counters"]
+        assert counters['spills{shard="0"}'] == 1
+        assert counters['spills{shard="1"}'] == 2
+
+    def test_label_order_is_irrelevant(self, registry):
+        a = registry.counter("x", op="matmul", backend="numpy")
+        b = registry.counter("x", backend="numpy", op="matmul")
+        assert a is b
+
+
+class TestHistogram:
+    def test_default_buckets_are_geometric(self):
+        bounds = default_time_buckets()
+        assert bounds[0] == pytest.approx(1e-6)
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_summary_statistics(self):
+        hist = Histogram()
+        for value in [0.001, 0.002, 0.004, 0.1]:
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(0.107)
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.1)
+        assert summary["mean"] == pytest.approx(0.107 / 4)
+
+    def test_percentiles_are_ordered_and_clamped(self):
+        hist = Histogram()
+        for value in [0.001, 0.002, 0.004, 0.008, 0.1]:
+            hist.observe(value)
+        p50, p95, p99 = (hist.percentile(p) for p in (50, 95, 99))
+        assert hist.min <= p50 <= p95 <= p99 <= hist.max
+
+    def test_percentile_exact_within_one_bucket(self):
+        # All mass in one bucket: every percentile lands inside its bounds.
+        hist = Histogram(bounds=[1.0, 2.0, 4.0])
+        for _ in range(100):
+            hist.observe(1.5)
+        assert 1.0 <= hist.percentile(50) <= 2.0
+
+    def test_overflow_bucket_reports_max(self):
+        hist = Histogram(bounds=[1.0])
+        hist.observe(50.0)
+        assert hist.percentile(99) == 50.0
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.percentile(50) == 0.0
+        assert hist.summary()["min"] is None
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError, match="percentile"):
+            Histogram().percentile(101)
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(bounds=[2.0, 1.0])
+
+
+class TestExporters:
+    def test_snapshot_is_json_serialisable(self, registry):
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.01)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["counters"]["c"] == 1
+        assert snapshot["gauges"]["g"] == 1.5
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_prometheus_text_format(self, registry):
+        registry.counter("requests_total", route="query").inc(3)
+        registry.histogram("latency_seconds", bounds=[0.1, 1.0]).observe(0.05)
+        text = registry.prometheus_text()
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{route="query"} 3' in text
+        assert "# TYPE latency_seconds histogram" in text
+        # Cumulative buckets: the 0.1 bucket holds the observation, the +Inf
+        # edge equals the total count, and _sum/_count close the family.
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1.0"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "latency_seconds_sum 0.05" in text
+        assert "latency_seconds_count 1" in text
+
+    def test_empty_registry_exports_empty(self, registry):
+        assert registry.prometheus_text() == ""
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
+    def test_clear(self, registry):
+        registry.counter("c").inc()
+        registry.clear()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestAmbientRegistry:
+    def test_use_registry_scopes_and_restores(self):
+        ambient = get_registry()
+        with use_registry() as scoped:
+            assert get_registry() is scoped
+            assert scoped is not ambient
+            get_registry().counter("scoped_only").inc()
+        assert get_registry() is ambient
+        assert "scoped_only" not in ambient.snapshot()["counters"]
+
+    def test_use_registry_accepts_explicit_registry(self):
+        mine = MetricsRegistry()
+        with use_registry(mine):
+            assert get_registry() is mine
+
+    def test_nested_scopes(self):
+        with use_registry() as outer:
+            with use_registry() as inner:
+                assert get_registry() is inner
+            assert get_registry() is outer

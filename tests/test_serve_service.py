@@ -304,3 +304,50 @@ class TestScorerSnapshotIsolation:
         np.testing.assert_array_equal(scorer._embeddings[2], frozen_row)
         refreshed = service.label_scorer
         assert refreshed is not scorer
+
+
+class TestObservabilityStats:
+    def test_cache_hit_ratio_derived_from_counters(self, service):
+        assert service.stats()["cache_hit_ratio"] == 0.0
+        service.query(0)          # miss
+        service.query(0)          # hit
+        service.query(1)          # miss
+        stats = service.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 2
+        assert stats["cache_hit_ratio"] == pytest.approx(1 / 3)
+
+    def test_queue_depth_tracks_pending(self, service):
+        service.submit(0)
+        service.submit(1)
+        assert service.stats()["queue_depth"] == 2
+        service.flush()
+        assert service.stats()["queue_depth"] == 0
+        assert service.stats()["max_batch"] == 4
+
+    def test_metrics_registry_mirrors_stats(self, service):
+        service.query(0)
+        service.query(0)
+        snapshot = service.metrics.snapshot()
+        stats = service.stats()
+        assert snapshot["counters"]["service_queries_total"] == stats["queries"]
+        assert snapshot["counters"]["service_cache_hits_total"] == stats["cache_hits"]
+        latency = snapshot["histograms"]["service_search_seconds"]
+        assert latency["count"] >= 1
+        assert latency["sum"] == pytest.approx(stats["search_seconds"])
+        text = service.metrics.prometheus_text()
+        assert "# TYPE service_queries_total counter" in text
+        assert "# TYPE service_search_seconds histogram" in text
+
+    def test_micro_batch_sizes_observed(self, service):
+        service.query_many([0, 1, 2, 3])
+        sizes = service.metrics.snapshot()["histograms"]["service_micro_batch_size"]
+        assert sizes["count"] == 1
+        assert sizes["max"] == 4.0
+
+    def test_two_services_do_not_share_counters(self, served, small_graph):
+        one = EmbeddingService(served, graph=small_graph, seed=0)
+        two = EmbeddingService(served, graph=small_graph, seed=0)
+        one.query(0)
+        assert one.stats()["queries"] == 1
+        assert two.stats()["queries"] == 0

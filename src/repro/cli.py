@@ -13,6 +13,8 @@ Examples::
     python -m repro bench --stage scale --dataset pubmed --workers 1,2,4
     python -m repro export --dataset pubmed --output pubmed.ckpt.npz
     python -m repro query --checkpoint pubmed.ckpt.npz --node 7 --topk 10
+    python -m repro serve --checkpoint pubmed.ckpt.npz --port 8080
+    python -m repro bench --stage traffic --rates 100,200,400
     python -m repro train --dataset cora --trace run.trace.jsonl
     python -m repro trace summarize run.trace.jsonl
     python -m repro metrics --dump
@@ -41,6 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Subcommands: 'repro bench' times the pipeline or serving "
                "stages, 'repro export' writes a serve checkpoint, "
                "'repro query' answers top-k neighbor queries from one, "
+               "'repro serve' exposes one over HTTP, "
                "'repro trace summarize' aggregates a JSONL span trace, and "
                "'repro metrics' exports the metrics registry "
                "(see '<subcommand> --help').",
@@ -108,11 +111,12 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro bench",
         description="Time the training pipeline stages (--stage pipeline), "
-                    "the serving path (--stage serve), or the scale-out axes "
-                    "(--stage scale); write a JSON perf report.",
+                    "the serving path (--stage serve), the scale-out axes "
+                    "(--stage scale), or the HTTP edge under open-loop load "
+                    "(--stage traffic); write a JSON perf report.",
     )
     parser.add_argument("--stage", default="pipeline",
-                        choices=["pipeline", "serve", "scale"],
+                        choices=["pipeline", "serve", "scale", "traffic"],
                         help="which tier to benchmark (default pipeline)")
     parser.add_argument("--dataset", default="pubmed", choices=dataset_names(),
                         help="synthetic analog to benchmark on (default pubmed)")
@@ -150,10 +154,82 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ann-queries", type=int, default=1024,
                         help="serve stage: query batch for the ANN comparison "
                              "(default 1024)")
+    traffic = parser.add_argument_group("traffic stage (HTTP edge)")
+    traffic.add_argument("--rates", default="100,200,400,800",
+                         help="traffic stage: comma-separated offered rates "
+                              "(requests/s) for the acceptance sweep "
+                              "(default 100,200,400,800)")
+    traffic.add_argument("--duration", type=float, default=3.0,
+                         help="traffic stage: seconds per burst (default 3.0)")
+    traffic.add_argument("--deadline-ms", type=float, default=250.0,
+                         help="traffic stage: per-search deadline and the "
+                              "p99 acceptance bar (default 250)")
+    traffic.add_argument("--max-batch", type=int, default=64,
+                         help="traffic stage: coalesced batch ceiling "
+                              "(default 64)")
+    traffic.add_argument("--max-queue", type=int, default=256,
+                         help="traffic stage: admission queue bound; fuller "
+                              "queues shed with 503 (default 256)")
+    traffic.add_argument("--overload-factor", type=float, default=4.0,
+                         help="traffic stage: overload burst rate as a "
+                              "multiple of the accepted rate (default 4.0)")
     parser.add_argument("--output", default=None,
                         help="report path (default BENCH_pipeline.json / "
-                             "BENCH_serve.json / BENCH_scale.json by stage)")
+                             "BENCH_serve.json / BENCH_scale.json / "
+                             "BENCH_traffic.json by stage)")
     return parser
+
+
+def _parse_rates(text: str):
+    try:
+        rates = [float(rate) for rate in str(text).split(",") if rate.strip()]
+    except ValueError:
+        raise SystemExit(f"--rates must be comma-separated numbers, got {text!r}")
+    if not rates or any(rate <= 0 for rate in rates):
+        raise SystemExit("--rates must name at least one positive rate")
+    return rates
+
+
+def _burst_row(label: str, entry: dict) -> list:
+    latency = entry["latency_ms"]
+    fmt = lambda value: f"{value:.1f}" if value is not None else "-"
+    return [label, f"{entry['offered_rate']:.0f}",
+            f"{entry['sustained_rps']:.0f}", entry["ok"], entry["shed"],
+            entry["errors"], fmt(latency["p50"]), fmt(latency["p99"])]
+
+
+def run_traffic_bench_cli(args) -> int:
+    from repro.perf import run_traffic_bench, write_report
+
+    report = run_traffic_bench(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        epochs=args.epochs, rates=_parse_rates(args.rates),
+        duration_s=args.duration, topk=args.topk,
+        deadline_ms=args.deadline_ms, max_batch=args.max_batch,
+        max_queue=args.max_queue, overload_factor=args.overload_factor,
+    )
+    rows = [_burst_row("sweep" + (" *" if entry["accepted"] else ""), entry)
+            for entry in report["sweep"]]
+    rows.append(_burst_row("overload", report["overload"]))
+    rows.append(_burst_row("reload burst", report["reload"]))
+    print(format_table(
+        ["phase", "offered", "rps", "ok", "shed", "err", "p50 ms", "p99 ms"],
+        rows, title=f"traffic bench ({report['dataset']}, "
+                    f"{report['num_vectors']} vectors, deadline "
+                    f"{report['server']['deadline_ms']:.0f} ms)"))
+    accepted = report["accepted"]
+    print("[accepted operating point: "
+          + (f"{accepted['offered_rate']:.0f} req/s, "
+             f"p99 {accepted['latency_ms']['p99']:.1f} ms]" if accepted
+             else "none — every sweep rate missed the bar]"))
+    print(f"[overload absorbed by sheds: "
+          f"{report['overload']['absorbed_by_sheds']}; hot reload clean: "
+          f"{report['reload']['clean']} "
+          f"(generation {report['reload']['reload']['generation_before']} -> "
+          f"{report['reload']['reload']['generation_after']})]")
+    path = write_report(report, args.output or "BENCH_traffic.json")
+    print(f"[report written to {path}]")
+    return 0
 
 
 def run_scale_bench_cli(args) -> int:
@@ -252,6 +328,8 @@ def run_bench(argv) -> int:
         return run_serve_bench_cli(args)
     if args.stage == "scale":
         return run_scale_bench_cli(args)
+    if args.stage == "traffic":
+        return run_traffic_bench_cli(args)
     report = run_pipeline_bench(
         dataset=args.dataset, scale=args.scale, seed=args.seed,
         epochs=args.epochs, batch_size=args.batch_size, micro=not args.no_micro,
@@ -556,6 +634,109 @@ def run_query(argv) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a checkpoint over HTTP: /v1/query with request "
+                    "coalescing and bounded-queue backpressure, /v1/embed "
+                    "and /v1/score (with --dataset), /healthz, Prometheus "
+                    "/metrics, and /admin/reload for hot checkpoint swaps.",
+    )
+    parser.add_argument("--checkpoint", required=True,
+                        help="path written by 'repro export'")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port; 0 picks a free one (default 8080)")
+    parser.add_argument("--metric", default="cosine",
+                        choices=["dot", "cosine", "l2"],
+                        help="similarity metric (default cosine)")
+    parser.add_argument("--index", default="exact", choices=["exact", "ivf"],
+                        help="search tier (default exact)")
+    parser.add_argument("--n-cells", type=int, default=None,
+                        help="ivf: coarse cells (default ~4*sqrt(n))")
+    parser.add_argument("--nprobe", type=int, default=8,
+                        help="ivf: cells probed per query (default 8)")
+    parser.add_argument("--topk", type=int, default=10,
+                        help="default neighbors per query (default 10)")
+    parser.add_argument("--cache-size", type=int, default=1024,
+                        help="LRU query cache entries; 0 disables "
+                             "(default 1024)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="coalesced batch ceiling (default 64)")
+    parser.add_argument("--deadline-ms", type=float, default=250.0,
+                        help="per-search deadline driving degraded marking "
+                             "and pressure shedding; 0 disables "
+                             "(default 250)")
+    parser.add_argument("--max-queue", type=int, default=256,
+                        help="admission queue bound; fuller queues shed with "
+                             "503 + Retry-After (default 256)")
+    parser.add_argument("--shed-degraded-ratio", type=float, default=0.5,
+                        help="degraded fraction of the recent window past "
+                             "which new admissions shed (default 0.5)")
+    parser.add_argument("--retry-after", type=float, default=1.0,
+                        help="Retry-After seconds on shed responses "
+                             "(default 1.0)")
+    source = parser.add_argument_group(
+        "graph attach (enables /v1/embed and /v1/score)")
+    source.add_argument("--dataset", choices=dataset_names(),
+                        help="regenerate the training analog and attach it")
+    source.add_argument("--scale", type=float, default=1.0,
+                        help="node-count multiplier for the analog")
+    source.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the checkpoint-vs-graph fingerprint check")
+    return parser
+
+
+def run_serve(argv) -> int:
+    import asyncio
+
+    from repro.serve.http import EmbeddingServer, ServerConfig
+
+    args = build_serve_parser().parse_args(argv)
+    graph = None
+    if args.dataset:
+        graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+        print(f"Loaded {graph}")
+    index_options = ({"n_cells": args.n_cells, "nprobe": args.nprobe}
+                     if args.index == "ivf" else None)
+    config = ServerConfig(
+        host=args.host, port=args.port, metric=args.metric,
+        index_kind=args.index, index_options=index_options,
+        default_topk=args.topk, cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        deadline_s=(args.deadline_ms / 1000.0) if args.deadline_ms else None,
+        max_queue=args.max_queue,
+        shed_degraded_ratio=args.shed_degraded_ratio,
+        retry_after_s=args.retry_after,
+        verify=not args.no_verify, seed=args.seed,
+    )
+    server = EmbeddingServer(args.checkpoint, graph=graph, config=config)
+
+    async def main():
+        await server.start()
+        snapshot = server.snapshot
+        print(f"[serving {args.checkpoint}: {snapshot.service.index.num_vectors} "
+              f"vectors, {args.index}/{args.metric}, generation "
+              f"{snapshot.generation}]")
+        print(f"[listening on http://{config.host}:{server.port} — "
+              f"/v1/query /v1/embed /v1/score /healthz /metrics "
+              f"/admin/reload]")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("[shutting down]")
+    return 0
+
+
 def build_trace_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro trace",
@@ -629,7 +810,7 @@ def run_metrics(argv) -> int:
 
 
 _SUBCOMMANDS = {"train": run_train, "bench": run_bench, "export": run_export,
-                "query": run_query, "trace": run_trace,
+                "query": run_query, "serve": run_serve, "trace": run_trace,
                 "metrics": run_metrics}
 
 

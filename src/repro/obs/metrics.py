@@ -52,10 +52,24 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline are the three characters the format
+    reserves inside quoted label values; escaping them here means arbitrary
+    label values (file paths, error strings, user-supplied route names) can
+    never corrupt a ``/metrics`` scrape or smuggle extra series into it.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _format_labels(label_key: tuple) -> str:
     if not label_key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in label_key)
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"'
+                     for name, value in label_key)
     return "{" + inner + "}"
 
 

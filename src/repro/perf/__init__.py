@@ -10,7 +10,11 @@ the serving surface (checkpoint round-trip, index build, query latency and
 throughput) into ``BENCH_serve.json``.  ``repro bench --stage scale`` drives
 :func:`run_scale_bench`, which measures the scale-out axes (shard-generation
 speedup vs workers, streaming vs in-memory epochs, float32 vs float64) into
-``BENCH_scale.json``.
+``BENCH_scale.json``.  ``repro bench --stage traffic`` drives
+:func:`run_traffic_bench`, which loads the HTTP edge with seeded open-loop
+traffic (rate sweep → overload → hot reload under load) into
+``BENCH_traffic.json``.  Every report is stamped with the shared
+git/seed/platform run context by :func:`write_report`.
 """
 
 from repro.perf.bench import (
@@ -20,6 +24,7 @@ from repro.perf.bench import (
 )
 from repro.perf.scale_bench import run_scale_bench
 from repro.perf.serve_bench import run_serve_bench
+from repro.perf.traffic_bench import run_traffic_bench
 
 __all__ = ["run_pipeline_bench", "run_microbenchmarks", "run_serve_bench",
-           "run_scale_bench", "write_report"]
+           "run_scale_bench", "run_traffic_bench", "write_report"]

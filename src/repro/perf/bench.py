@@ -372,9 +372,18 @@ def _compare(reference_fn, vectorized_fn, repeats: int) -> dict:
 
 
 def write_report(report: dict, path: str = "BENCH_pipeline.json") -> str:
-    """Write ``report`` as JSON (appending a timestamp); return the path."""
+    """Write ``report`` as JSON; return the path.
+
+    Every report is stamped with a timestamp and the shared run context
+    (git commit ± dirty flag, python / numpy versions, platform, pid) from
+    :mod:`repro.obs.manifest`, so a committed ``BENCH_*.json`` always says
+    which tree and toolchain produced it.
+    """
+    from repro.obs.manifest import run_manifest
+
     report = dict(report)
     report.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%S"))
+    report.setdefault("run_context", run_manifest())
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w") as handle:

@@ -1,0 +1,247 @@
+"""Traffic benchmark: the HTTP serving edge under deterministic open-loop load.
+
+``repro bench --stage traffic`` trains one quick fit, exports it through the
+checkpoint round-trip, starts :class:`~repro.serve.http.EmbeddingServer` on
+a loopback port in a worker thread, and drives three phases of seeded
+open-loop traffic from :mod:`repro.serve.http.loadgen`:
+
+1. **Rate sweep** — bursts at increasing offered rates.  The *accepted
+   operating point* is the highest rate whose p99 stays within the
+   configured per-search deadline with (near-)zero sheds and zero errors —
+   the number the README's serving table quotes.
+2. **Overload** — one burst far past the accepted point.  The assertion is
+   about *shape*: the edge sheds (503 + ``Retry-After``) while the p99 of
+   what it does answer stays bounded, instead of the whole tail blowing up.
+3. **Hot reload under load** — a burst with ``/admin/reload`` fired
+   mid-stream.  Clean means every request got a real answer (200, or a
+   deliberate shed) from the old or the new snapshot — zero drops, zero
+   5xx-other-than-shed.
+
+Results land in ``BENCH_traffic.json`` next to the other ``BENCH_*`` tiers,
+stamped with the shared git/seed/platform run context.  Client and server
+share one process (two event loops on two threads, real sockets over
+loopback); numbers are an edge-overhead floor, not a cross-host measurement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import time
+
+from repro.serve.http.loadgen import run_burst
+from repro.serve.http.protocol import (
+    json_payload,
+    read_response,
+    render_request,
+)
+from repro.serve.http.server import EmbeddingServer, ServerConfig, ServerThread
+
+#: Sweep rates accepted when shed/error ratios stay at (near) zero.
+ACCEPT_MAX_SHED_RATIO = 0.01
+
+
+async def _admin_call(host: str, port: int, path: str, body: dict) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(render_request("POST", path, json_payload(body),
+                                    headers={"Connection": "close"}))
+        await writer.drain()
+        response = await read_response(reader)
+    finally:
+        writer.close()
+    return {"status": response.status, "body": response.json()}
+
+
+def _accepts(entry: dict, deadline_ms: float) -> bool:
+    p99 = entry["latency_ms"]["p99"]
+    return (entry["errors"] == 0 and entry["ok"] > 0
+            and entry["shed_ratio"] <= ACCEPT_MAX_SHED_RATIO
+            and p99 is not None and p99 <= deadline_ms)
+
+
+def _train_checkpoint(dataset, scale, seed, epochs, dim, graph,
+                      **config_overrides):
+    from repro.core import CoANE, CoANEConfig
+    from repro.serve import Checkpoint
+
+    if graph is None:
+        if dataset is None:
+            raise ValueError("pass either dataset or graph")
+        from repro.graph import load_dataset
+
+        graph = load_dataset(dataset, seed=seed, scale=scale)
+    config = CoANEConfig(embedding_dim=dim, num_walks=1, subsample_t=1e-5,
+                         epochs=epochs, seed=seed, **config_overrides)
+    start = time.perf_counter()
+    estimator = CoANE(config).fit(graph)
+    train_seconds = time.perf_counter() - start
+    return graph, Checkpoint.from_estimator(estimator, graph), train_seconds
+
+
+def run_traffic_bench(dataset: str = "cora", scale: float = 1.0,
+                      seed: int = 0, epochs: int = 5, dim: int = 64,
+                      rates=(100, 200, 400, 800), duration_s: float = 3.0,
+                      topk: int = 10, deadline_ms: float = 250.0,
+                      max_batch: int = 64, max_queue: int = 256,
+                      shed_degraded_ratio: float = 0.5,
+                      overload_factor: float = 4.0,
+                      reload_rate: float = None,
+                      warmup_requests: int = 64, graph=None,
+                      checkpoint_path: str = None,
+                      **config_overrides) -> dict:
+    """Benchmark the HTTP edge; returns the ``BENCH_traffic.json`` report.
+
+    Parameters
+    ----------
+    rates:
+        Offered rates (requests/s) for the acceptance sweep, ascending.
+    duration_s:
+        Burst length per rate; the request count is ``rate * duration_s``.
+    deadline_ms:
+        Per-search service deadline; doubles as the p99 acceptance bar.
+    overload_factor:
+        The overload burst offers ``accepted_rate * overload_factor``
+        (falling back to ``max(rates) * overload_factor`` when nothing in
+        the sweep was accepted).
+    reload_rate:
+        Offered rate for the hot-reload burst (defaults to the accepted
+        rate, else the lowest sweep rate).
+    checkpoint_path:
+        Serve an existing exported checkpoint instead of training one.
+    """
+    rates = sorted(float(rate) for rate in rates)
+    if not rates:
+        raise ValueError("rates must name at least one offered rate")
+    deadline_s = deadline_ms / 1000.0
+
+    train_seconds = None
+    tmpdir = None
+    try:
+        if checkpoint_path is None:
+            graph, checkpoint, train_seconds = _train_checkpoint(
+                dataset, scale, seed, epochs, dim, graph, **config_overrides)
+            tmpdir = tempfile.TemporaryDirectory()
+            checkpoint_path = os.path.join(tmpdir.name, "traffic.ckpt.npz")
+            checkpoint.save(checkpoint_path)
+        server_config = ServerConfig(
+            host="127.0.0.1", port=0, max_batch=max_batch,
+            max_queue=max_queue, deadline_s=deadline_s,
+            shed_degraded_ratio=shed_degraded_ratio,
+            default_topk=topk, seed=seed,
+            # The bench measures the search path, not the cache: a seeded
+            # uniform query mix over a small analog would otherwise be
+            # answered mostly by the LRU and overstate sustainable rates.
+            cache_size=0,
+            verify=graph is not None)
+        server = EmbeddingServer(checkpoint_path, graph=graph,
+                                 config=server_config)
+
+        with ServerThread(server) as handle:
+            host, port = server_config.host, handle.port
+            num_vectors = server.snapshot.service.index.num_vectors
+
+            async def phases():
+                # Warmup: fill code paths and the BLAS pools, uncounted.
+                await run_burst(host, port, rates[0],
+                                min(warmup_requests, max_queue), num_vectors,
+                                seed=seed + 1000, topk=topk)
+                sweep = []
+                for index, rate in enumerate(rates):
+                    entry = await run_burst(
+                        host, port, rate, max(1, int(rate * duration_s)),
+                        num_vectors, seed=seed + index, topk=topk)
+                    entry["accepted"] = _accepts(entry, deadline_ms)
+                    sweep.append(entry)
+                accepted = None
+                for entry in sweep:
+                    if entry["accepted"]:
+                        accepted = entry
+                base_rate = (accepted or {}).get("offered_rate", rates[-1])
+
+                overload_rate = base_rate * overload_factor
+                overload = await run_burst(
+                    host, port, overload_rate,
+                    max(1, int(overload_rate * duration_s)), num_vectors,
+                    seed=seed + 500, topk=topk)
+                overload["absorbed_by_sheds"] = bool(
+                    overload["errors"] == 0
+                    and (overload["shed"] > 0
+                         or _accepts(overload, deadline_ms)))
+
+                burst_rate = reload_rate or base_rate
+                burst_requests = max(8, int(burst_rate * duration_s))
+                generation_before = server.snapshot.generation
+                reload_result = await run_burst(
+                    host, port, burst_rate, burst_requests, num_vectors,
+                    seed=seed + 750, topk=topk,
+                    actions=[(duration_s / 2.0, lambda: _admin_call(
+                        host, port, "/admin/reload",
+                        {"checkpoint": checkpoint_path}))])
+                action = (reload_result["actions"] or [{}])[0]
+                reload_result["reload"] = {
+                    "status": action.get("status"),
+                    "generation_before": generation_before,
+                    "generation_after": server.snapshot.generation,
+                    "reload_seconds": (action.get("body") or {}).get(
+                        "reload_seconds"),
+                }
+                reload_result["clean"] = bool(
+                    action.get("status") == 200
+                    and reload_result["errors"] == 0
+                    and reload_result["ok"] + reload_result["shed"]
+                        == reload_result["requests"])
+
+                metrics = await _admin_call_get(host, port, "/metrics")
+                return sweep, accepted, overload, reload_result, metrics
+
+            sweep, accepted, overload, reload_result, metrics = asyncio.run(
+                phases())
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+    return {
+        "benchmark": "traffic",
+        "dataset": getattr(graph, "name", None) or dataset,
+        "scale": scale,
+        "seed": seed,
+        "num_vectors": int(num_vectors),
+        "topk": int(topk),
+        "train": ({"seconds": train_seconds, "epochs": epochs, "dim": dim}
+                  if train_seconds is not None else None),
+        "server": {
+            "deadline_ms": deadline_ms,
+            "max_batch": int(max_batch),
+            "max_queue": int(max_queue),
+            "shed_degraded_ratio": shed_degraded_ratio,
+            "metric": server_config.metric,
+            "index_kind": server_config.index_kind,
+            "cache_size": server_config.cache_size,
+            "loopback_single_process": True,
+        },
+        "sweep": sweep,
+        "accepted": accepted,
+        "overload": overload,
+        "reload": reload_result,
+        "metrics_series": {
+            "queue_depth": "http_queue_depth" in metrics,
+            "sheds": "http_sheds_total" in metrics,
+            "latency_histogram": "http_request_seconds_bucket" in metrics,
+            "service_search_histogram": "service_search_seconds_bucket"
+                                        in metrics,
+        },
+    }
+
+
+async def _admin_call_get(host: str, port: int, path: str) -> str:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(render_request("GET", path,
+                                    headers={"Connection": "close"}))
+        await writer.drain()
+        response = await read_response(reader)
+    finally:
+        writer.close()
+    return response.body.decode("utf-8", errors="replace")

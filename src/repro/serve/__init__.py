@@ -15,7 +15,11 @@
   nodes through the frozen encoder,
 * :class:`EmbeddingService` — the front door with request micro-batching,
   an LRU query cache, and per-search deadline accounting
-  (``repro bench --stage serve`` measures it).
+  (``repro bench --stage serve`` measures it),
+* :class:`EmbeddingServer` (in :mod:`repro.serve.http`) — the asyncio HTTP
+  edge over the service: request coalescing, bounded-queue backpressure
+  with load shedding, hot checkpoint reload, and Prometheus ``/metrics``
+  (``repro serve`` runs it; ``repro bench --stage traffic`` measures it).
 
 Checkpoint loads are integrity-checked: an undecodable archive raises
 :class:`~repro.resilience.CheckpointCorruptError` (re-exported here) naming
@@ -25,6 +29,7 @@ the file and the likely cause.
 from repro.resilience.integrity import CheckpointCorruptError
 from repro.serve.ann import IVFIndex, synthetic_clustered_embeddings
 from repro.serve.checkpoint import Checkpoint, CheckpointMismatchError
+from repro.serve.http import EmbeddingServer, ServerConfig, ServerThread
 from repro.serve.index import METRICS, EmbeddingIndex
 from repro.serve.inductive import InductiveEncoder, augment_graph
 from repro.serve.scoring import EdgeScorer, LabelScorer
@@ -32,6 +37,9 @@ from repro.serve.service import EmbeddingService, QueryResult, ServiceStats
 
 __all__ = [
     "Checkpoint",
+    "EmbeddingServer",
+    "ServerConfig",
+    "ServerThread",
     "CheckpointCorruptError",
     "CheckpointMismatchError",
     "EmbeddingIndex",

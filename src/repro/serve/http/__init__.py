@@ -1,0 +1,46 @@
+"""The network edge: an asyncio HTTP front end over the serving layer.
+
+``repro.serve.http`` is stdlib-only (asyncio + the numpy the library already
+depends on): no web framework, no external HTTP client.  The pieces:
+
+* :mod:`~repro.serve.http.protocol` — a bounded HTTP/1.1 parser/renderer
+  shared by the server and the load generator,
+* :mod:`~repro.serve.http.coalescer` — the bounded admission queue, the
+  shed policy (queue-full + deadline-pressure), and the batcher that
+  funnels concurrent requests into the service micro-batch path,
+* :mod:`~repro.serve.http.server` — :class:`EmbeddingServer` (the routes,
+  the hot-reloadable :class:`ServiceSnapshot`, the edge metrics) and
+  :class:`ServerThread` (run it off-thread for benches and tests),
+* :mod:`~repro.serve.http.loadgen` — the deterministic open-loop load
+  generator behind ``repro bench --stage traffic``.
+
+``repro serve`` (see :mod:`repro.cli`) is the command-line entry point.
+"""
+
+from repro.serve.http.coalescer import QueryCoalescer, RequestShed, ShedPolicy
+from repro.serve.http.loadgen import build_schedule, run_burst, summarize
+from repro.serve.http.protocol import ProtocolError, Request, Response
+from repro.serve.http.server import (
+    EmbeddingServer,
+    RequestError,
+    ServerConfig,
+    ServerThread,
+    ServiceSnapshot,
+)
+
+__all__ = [
+    "EmbeddingServer",
+    "ProtocolError",
+    "QueryCoalescer",
+    "Request",
+    "RequestError",
+    "RequestShed",
+    "Response",
+    "ServerConfig",
+    "ServerThread",
+    "ServiceSnapshot",
+    "ShedPolicy",
+    "build_schedule",
+    "run_burst",
+    "summarize",
+]

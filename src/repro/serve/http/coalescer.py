@@ -1,0 +1,238 @@
+"""Request coalescing and admission control for the HTTP edge.
+
+Every concurrent ``/v1/query`` request lands in one bounded queue; a single
+batcher task drains up to ``max_batch`` of them at a time into the
+:class:`~repro.serve.service.EmbeddingService` micro-batch path, so N
+in-flight HTTP clients cost one batched index search instead of N single
+searches.  Because exact and IVF searches both return canonical per-pair
+scores (accumulated per pair, independent of batch shape), coalesced
+answers are byte-identical to the same queries submitted serially — the
+edge changes throughput, never arithmetic.
+
+Admission control sheds with two distinct reasons:
+
+``queue_full``
+    The bounded queue is at capacity.  Classic backpressure: accepted work
+    is bounded, so queueing delay is bounded, so latency cannot collapse
+    into an unbounded tail.
+``deadline_pressure``
+    The recent degraded-response ratio — the PR 6 per-search deadline
+    accounting, fed back by the server after every batch — crossed the shed
+    threshold.  Pressure sheds are *diluting*: each one is recorded into
+    the same sliding window as an on-time answer, so a run of sheds
+    automatically re-opens admission.  That is a deterministic, clock-free
+    analogue of a half-open circuit breaker: the edge sheds a fraction of
+    offered load proportional to how far past the deadline the service is
+    running, instead of latching shut.
+
+Both reasons answer ``503`` with a ``Retry-After`` header upstream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["QueryCoalescer", "RequestShed", "ShedPolicy"]
+
+
+class RequestShed(Exception):
+    """An admission refusal: answer 503 with ``Retry-After``."""
+
+    def __init__(self, reason: str, retry_after_s: float):
+        super().__init__(f"request shed ({reason})")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class ShedPolicy:
+    """Decides admission from queue depth and recent deadline pressure.
+
+    Parameters
+    ----------
+    max_queue:
+        Admission bound: a submit that would push the queue past this many
+        pending queries is shed (``queue_full``).
+    shed_degraded_ratio:
+        Shed (``deadline_pressure``) once the degraded fraction of the
+        sliding window exceeds this.  ``None`` disables pressure shedding
+        (queue-depth backpressure still applies).
+    pressure_window:
+        Size of the sliding window, in answered-or-shed queries.
+    min_observations:
+        Pressure shedding only engages once the window holds at least this
+        many entries, so one slow cold-start batch cannot trip the breaker.
+    retry_after_s:
+        Advisory retry delay carried on every shed.
+    """
+
+    def __init__(self, max_queue: int = 256,
+                 shed_degraded_ratio: float = 0.5,
+                 pressure_window: int = 512, min_observations: int = 64,
+                 retry_after_s: float = 1.0):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if shed_degraded_ratio is not None and not 0 < shed_degraded_ratio <= 1:
+            raise ValueError("shed_degraded_ratio must be in (0, 1] or None")
+        if pressure_window < 1 or min_observations < 1:
+            raise ValueError("pressure_window and min_observations must be >= 1")
+        self.max_queue = int(max_queue)
+        self.shed_degraded_ratio = shed_degraded_ratio
+        self.pressure_window = int(pressure_window)
+        self.min_observations = int(min_observations)
+        self.retry_after_s = float(retry_after_s)
+        self._events = collections.deque()   # (count, degraded) entries
+        self._count = 0
+        self._degraded = 0
+
+    @property
+    def degraded_ratio(self) -> float:
+        """Degraded fraction of the window (0.0 on an idle window)."""
+        return self._degraded / self._count if self._count else 0.0
+
+    def _push(self, count: int, degraded: int):
+        self._events.append((count, degraded))
+        self._count += count
+        self._degraded += degraded
+        # Evict whole batches while the window stays >= pressure_window
+        # without the head entry.
+        while self._count - self._events[0][0] >= self.pressure_window:
+            count, degraded = self._events.popleft()
+            self._count -= count
+            self._degraded -= degraded
+
+    def record_answers(self, answered: int, degraded: int):
+        """Feed back one completed batch's deadline outcome."""
+        if answered > 0:
+            self._push(answered, degraded)
+
+    def record_shed(self):
+        """Record one pressure shed as an on-time window entry (dilution:
+        this is what re-opens admission after a run of sheds)."""
+        self._push(1, 0)
+
+    def admit(self, depth: int, incoming: int = 1):
+        """Shed reason for admitting ``incoming`` more at queue ``depth``,
+        or ``None`` to admit."""
+        if depth + incoming > self.max_queue:
+            return "queue_full"
+        if (self.shed_degraded_ratio is not None
+                and self._count >= self.min_observations
+                and self.degraded_ratio > self.shed_degraded_ratio):
+            return "deadline_pressure"
+        return None
+
+
+@dataclass
+class PendingQuery:
+    """One admitted query waiting for its batch to run."""
+
+    node: int
+    topk: int
+    future: asyncio.Future = field(repr=False)
+
+
+class QueryCoalescer:
+    """One bounded queue + one batcher task funnelling into ``run_batch``.
+
+    ``run_batch`` is an async callable receiving a list of
+    :class:`PendingQuery`; it must resolve every future it is handed (result
+    or exception).  Batches are strictly sequential — the next batch does
+    not start until the previous one resolved — which is what makes
+    concurrent submissions deterministic.
+    """
+
+    def __init__(self, run_batch, max_batch: int, policy: ShedPolicy,
+                 registry: MetricsRegistry):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._run_batch = run_batch
+        self.max_batch = int(max_batch)
+        self.policy = policy
+        self._queue = collections.deque()
+        self._wakeup = asyncio.Event()
+        self._task = None
+        self._closing = False
+        self._depth_gauge = registry.gauge("http_queue_depth")
+        self._shed_counters = {
+            reason: registry.counter("http_sheds_total", reason=reason)
+            for reason in ("queue_full", "deadline_pressure", "shutdown")}
+        self._batches = registry.counter("http_batches_total")
+        self._coalesced = registry.counter("http_coalesced_queries_total")
+        self._batch_sizes = registry.histogram(
+            "http_batch_size", bounds=[2.0 ** k for k in range(11)])
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def start(self):
+        """Spawn the batcher task on the running loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain_loop())
+
+    def submit_many(self, items) -> list:
+        """Admit ``[(node, topk), ...]`` all-or-nothing; returns futures.
+
+        Raises :class:`RequestShed` — counting the shed and, for pressure
+        sheds, diluting the window — when admission is refused.  A
+        multi-node request is never half-admitted.
+        """
+        items = list(items)
+        reason = ("shutdown" if self._closing
+                  else self.policy.admit(len(self._queue), len(items)))
+        if reason is not None:
+            self._shed_counters[reason].inc(len(items))
+            if reason == "deadline_pressure":
+                for _ in items:
+                    self.policy.record_shed()
+            raise RequestShed(reason, self.policy.retry_after_s)
+        loop = asyncio.get_running_loop()
+        futures = []
+        for node, topk in items:
+            pending = PendingQuery(int(node), int(topk), loop.create_future())
+            self._queue.append(pending)
+            futures.append(pending.future)
+        self._depth_gauge.set(len(self._queue))
+        self._wakeup.set()
+        return futures
+
+    async def _drain_loop(self):
+        while True:
+            await self._wakeup.wait()
+            if not self._queue:
+                if self._closing:
+                    return
+                self._wakeup.clear()
+                continue
+            batch = [self._queue.popleft()
+                     for _ in range(min(self.max_batch, len(self._queue)))]
+            self._depth_gauge.set(len(self._queue))
+            self._batches.inc()
+            self._coalesced.inc(len(batch))
+            self._batch_sizes.observe(len(batch))
+            try:
+                await self._run_batch(batch)
+            except Exception as error:
+                # run_batch resolves per-item errors itself; this is the
+                # backstop for a whole-batch failure (e.g. an injected
+                # crash), which must never strand a future.
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+
+    async def close(self):
+        """Stop admitting, drain everything already accepted, then stop.
+
+        Draining (rather than cancelling) is what guarantees a graceful
+        shutdown or hot swap never drops an admitted request.
+        """
+        self._closing = True
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None

@@ -1,0 +1,206 @@
+"""Deterministic open-loop HTTP load generator with latency accounting.
+
+*Open-loop* means arrivals follow a precomputed schedule regardless of how
+fast responses come back — the discipline that reveals queueing collapse
+(a closed-loop client slows down with the server and hides it).  The
+schedule is a pure function of ``(seed, rate, num_requests)``: exponential
+inter-arrival gaps and uniform node picks from one seeded generator, so two
+runs offer byte-identical traffic and differ only in what the server did
+with it.
+
+Each arrival opens its own connection (worst-case, no keep-alive reuse —
+the honest cost of a cold client), POSTs one ``/v1/query``, and records
+status + wall latency.  :func:`summarize` folds the records into the
+sustained-RPS / p50 / p99 / shed-rate report the traffic bench and the CI
+smoke assert on; every derived ratio and percentile is guarded against
+zero-request windows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.serve.http.protocol import (
+    ProtocolError,
+    json_payload,
+    read_response,
+    render_request,
+)
+
+__all__ = ["build_schedule", "percentile_ms", "run_open_loop", "summarize"]
+
+
+def build_schedule(rate: float, num_requests: int, num_nodes: int,
+                   seed: int = 0):
+    """Seeded open-loop schedule: arrival offsets (s) and query node ids.
+
+    Poisson arrivals at ``rate`` requests/s: inter-arrival gaps are
+    exponential with mean ``1/rate``, offsets their running sum.  Node ids
+    are uniform over ``[0, num_nodes)``.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    rng = np.random.default_rng(seed)
+    offsets = np.cumsum(rng.exponential(1.0 / rate, size=num_requests))
+    nodes = rng.integers(0, num_nodes, size=num_requests)
+    return offsets, nodes
+
+
+def percentile_ms(latencies_s, q: float):
+    """``q``-th percentile of a latency list in milliseconds; ``None`` when
+    the window saw no requests (never NaN, never a ZeroDivisionError)."""
+    if latencies_s is None or len(latencies_s) == 0:
+        return None
+    return float(np.percentile(np.asarray(latencies_s, dtype=np.float64), q)
+                 * 1000.0)
+
+
+async def _exchange(host: str, port: int, node: int, topk: int):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(render_request(
+            "POST", "/v1/query",
+            json_payload({"node": int(node), "topk": int(topk)}),
+            headers={"Connection": "close"}))
+        await writer.drain()
+        return await read_response(reader)
+    finally:
+        writer.close()
+
+
+async def _one_request(host: str, port: int, node: int, topk: int,
+                       timeout_s: float) -> dict:
+    sent = time.perf_counter()
+    try:
+        # wait_for rather than asyncio.timeout: the CI matrix still runs 3.10
+        response = await asyncio.wait_for(_exchange(host, port, node, topk),
+                                          timeout=timeout_s)
+    except (TimeoutError, asyncio.TimeoutError):
+        return {"outcome": "timeout", "status": None,
+                "latency_s": time.perf_counter() - sent}
+    except (ConnectionError, ProtocolError, OSError) as error:
+        return {"outcome": "connection_error", "status": None,
+                "error": f"{type(error).__name__}: {error}",
+                "latency_s": time.perf_counter() - sent}
+    record = {"outcome": "response", "status": response.status,
+              "latency_s": time.perf_counter() - sent}
+    if response.status == 200:
+        try:
+            results = response.json()["results"]
+            record["degraded"] = any(entry["degraded"] for entry in results)
+            record["cached"] = any(entry["cached"] for entry in results)
+        except (KeyError, TypeError, ValueError):
+            record["outcome"] = "bad_payload"
+    return record
+
+
+async def run_open_loop(host: str, port: int, offsets, nodes,
+                        topk: int = 10, timeout_s: float = 30.0,
+                        actions=None) -> list:
+    """Fire the schedule; returns one record dict per arrival.
+
+    ``actions`` is an optional list of ``(offset_s, coroutine_fn)`` fired at
+    schedule offsets alongside the traffic — the hook the bench uses to
+    trigger a hot reload mid-burst.  Action results are appended to the
+    returned records with ``outcome == "action"``.
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    records = []
+
+    async def fire(offset: float, node: int):
+        delay = start + float(offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        records.append(await _one_request(host, port, node, topk, timeout_s))
+
+    async def act(offset: float, action):
+        delay = start + float(offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        outcome = await action()
+        records.append({"outcome": "action", "result": outcome})
+
+    tasks = [asyncio.ensure_future(fire(offset, node))
+             for offset, node in zip(offsets, nodes)]
+    tasks.extend(asyncio.ensure_future(act(offset, action))
+                 for offset, action in (actions or []))
+    await asyncio.gather(*tasks)
+    return records
+
+
+def summarize(records, offered_rate: float = None) -> dict:
+    """Fold request records into the traffic report (all math zero-guarded).
+
+    ``sustained_rps`` counts *successfully answered* queries over the
+    window in which responses actually arrived; ``shed_ratio`` is sheds
+    over every request that got any response.
+    """
+    requests = [record for record in records
+                if record.get("outcome") != "action"]
+    responses = [record for record in requests
+                 if record["outcome"] in ("response", "bad_payload")]
+    ok = [record for record in responses
+          if record["outcome"] == "response" and record.get("status") == 200]
+    shed = [record for record in responses if record.get("status") == 503]
+    # Everything that is neither a clean 200 nor a deliberate shed:
+    # timeouts, connection failures, unparsable payloads, other statuses.
+    errors = [record for record in requests
+              if not (record["outcome"] == "response"
+                      and record.get("status") in (200, 503))]
+    status_counts = {}
+    for record in responses:
+        key = str(record.get("status"))
+        status_counts[key] = status_counts.get(key, 0) + 1
+    latencies = [record["latency_s"] for record in ok]
+    return {
+        "offered_rate": offered_rate,
+        "requests": len(requests),
+        "ok": len(ok),
+        "shed": len(shed),
+        "errors": len(errors),
+        "status_counts": status_counts,
+        "shed_ratio": len(shed) / len(requests) if requests else 0.0,
+        "error_ratio": len(errors) / len(requests) if requests else 0.0,
+        "degraded": sum(1 for record in ok if record.get("degraded")),
+        "cached": sum(1 for record in ok if record.get("cached")),
+        "latency_ms": {
+            "count": len(latencies),
+            "mean": (float(np.mean(latencies) * 1000.0)
+                     if latencies else None),
+            "p50": percentile_ms(latencies, 50),
+            "p90": percentile_ms(latencies, 90),
+            "p99": percentile_ms(latencies, 99),
+            "max": (float(np.max(latencies) * 1000.0)
+                    if latencies else None),
+        },
+    }
+
+
+async def run_burst(host: str, port: int, rate: float, num_requests: int,
+                    num_nodes: int, seed: int = 0, topk: int = 10,
+                    timeout_s: float = 30.0, actions=None) -> dict:
+    """Schedule + fire + summarize in one call; returns the burst report.
+
+    The report additionally carries the burst's wall-clock duration and the
+    sustained answered-RPS over it.
+    """
+    offsets, nodes = build_schedule(rate, num_requests, num_nodes, seed=seed)
+    started = time.perf_counter()
+    records = await run_open_loop(host, port, offsets, nodes, topk=topk,
+                                  timeout_s=timeout_s, actions=actions)
+    wall_s = time.perf_counter() - started
+    report = summarize(records, offered_rate=rate)
+    report["wall_s"] = wall_s
+    report["sustained_rps"] = report["ok"] / wall_s if wall_s > 0 else 0.0
+    report["seed"] = int(seed)
+    report["actions"] = [record["result"] for record in records
+                         if record.get("outcome") == "action"]
+    return report

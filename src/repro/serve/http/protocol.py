@@ -1,0 +1,225 @@
+"""Minimal HTTP/1.1 over asyncio streams: just enough for the serving edge.
+
+The front end speaks plain HTTP/1.1 with ``Content-Length`` bodies — no
+chunked transfer, no TLS, no multipart — because every client it has (the
+open-loop load generator, the CI smoke, ``curl``, a Prometheus scraper)
+speaks that subset, and a dependency-free parser keeps the edge auditable.
+Requests are parsed under hard limits (request-line bytes, header count,
+body bytes) so a misbehaving client is answered with a status code instead
+of growing an unbounded buffer.
+
+Both directions live here: :func:`read_request` / :func:`render_response`
+serve the server, :func:`render_request` / :func:`read_response` serve the
+load generator and the tests, so one wire format is defined exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from dataclasses import dataclass
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "json_payload",
+    "read_request",
+    "read_response",
+    "render_request",
+    "render_response",
+]
+
+#: Reason phrases for every status this server emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+MAX_REQUEST_LINE = 8192
+MAX_HEADERS = 100
+MAX_BODY_BYTES = 8 << 20
+
+
+class ProtocolError(Exception):
+    """A malformed or over-limit message, carrying the status to answer."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class Request:
+    """One parsed request: method, decoded path, query params, headers, body.
+
+    Header names are lower-cased at parse time; values are stripped.
+    """
+
+    method: str
+    path: str
+    query: dict
+    headers: dict
+    body: bytes
+
+    def json(self) -> dict:
+        """The body as a JSON object (``{}`` for an empty body)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(400, f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "JSON body must be an object")
+        return payload
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One parsed response (the client side of the same wire format)."""
+
+    status: int
+    headers: dict
+    body: bytes
+
+    def json(self):
+        return json.loads(self.body.decode("utf-8")) if self.body else None
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as error:
+        raise ProtocolError(431, "header line too long") from error
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError(431, "header line too long")
+    return line
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> dict:
+    headers = {}
+    for _ in range(MAX_HEADERS):
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    raise ProtocolError(431, f"more than {MAX_HEADERS} headers")
+
+
+async def _read_body(reader: asyncio.StreamReader, headers: dict,
+                     max_body: int) -> bytes:
+    if "transfer-encoding" in headers:
+        raise ProtocolError(400, "chunked request bodies are not supported")
+    declared = headers.get("content-length")
+    if declared is None:
+        return b""
+    try:
+        length = int(declared)
+    except ValueError:
+        raise ProtocolError(400, f"bad Content-Length {declared!r}") from None
+    if length < 0:
+        raise ProtocolError(400, f"bad Content-Length {declared!r}")
+    if length > max_body:
+        raise ProtocolError(413, f"body of {length} bytes exceeds the "
+                                 f"{max_body}-byte limit")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(400, "body truncated mid-read") from error
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = MAX_BODY_BYTES):
+    """Parse one request off the stream; ``None`` on a clean end-of-stream.
+
+    Raises :class:`ProtocolError` for anything malformed or over-limit; the
+    connection handler answers with the carried status and closes.
+    """
+    line = await _read_line(reader)
+    if not line:
+        return None
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line {line!r}")
+    method, target, _version = parts
+    split = urllib.parse.urlsplit(target)
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers, max_body)
+    return Request(
+        method=method.upper(),
+        path=urllib.parse.unquote(split.path) or "/",
+        query=dict(urllib.parse.parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+async def read_response(reader: asyncio.StreamReader,
+                        max_body: int = MAX_BODY_BYTES) -> Response:
+    """Parse one response off the stream (client side)."""
+    line = await _read_line(reader)
+    if not line:
+        raise ProtocolError(400, "connection closed before the status line")
+    parts = line.decode("latin-1").rstrip("\r\n").split(maxsplit=2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed status line {line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise ProtocolError(400, f"malformed status line {line!r}") from None
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers, max_body)
+    return Response(status=status, headers=headers, body=body)
+
+
+def json_payload(obj) -> bytes:
+    """Compact JSON bytes for a response or request body."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def _render_head(first_line: str, body: bytes, content_type: str,
+                 headers: dict) -> bytes:
+    lines = [first_line,
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}"]
+    lines.extend(f"{name}: {value}" for name, value in (headers or {}).items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_response(status: int, body: bytes = b"",
+                    content_type: str = "application/json",
+                    headers: dict = None, keep_alive: bool = True) -> bytes:
+    """Serialise one response, Content-Length framed."""
+    reason = REASONS.get(status, "Unknown")
+    merged = {"Connection": "keep-alive" if keep_alive else "close"}
+    merged.update(headers or {})
+    return _render_head(f"HTTP/1.1 {status} {reason}", body, content_type,
+                        merged)
+
+
+def render_request(method: str, path: str, body: bytes = b"",
+                   content_type: str = "application/json",
+                   headers: dict = None, host: str = "localhost") -> bytes:
+    """Serialise one request (the load generator's wire writer)."""
+    merged = {"Host": host}
+    merged.update(headers or {})
+    return _render_head(f"{method.upper()} {path} HTTP/1.1", body,
+                        content_type, merged)

@@ -1,0 +1,633 @@
+"""The asyncio HTTP serving front end over :class:`EmbeddingService`.
+
+``EmbeddingServer`` is the network edge the in-process service never had:
+
+* **Endpoints** — ``POST /v1/query`` (top-k neighbor search), ``POST
+  /v1/embed`` (inductive embedding of unseen nodes), ``POST /v1/score``
+  (edge / label scoring), ``GET /healthz``, ``GET /metrics`` (Prometheus
+  text), and ``POST /admin/reload`` (hot checkpoint swap).
+* **Coalescing** — query traffic funnels through a
+  :class:`~repro.serve.http.coalescer.QueryCoalescer` into the service's
+  micro-batch search path.  Batches execute on a dedicated single-thread
+  executor: strictly serialized (so concurrent clients get byte-identical
+  answers to serial submission) while the event loop keeps accepting
+  connections — numpy releases the GIL inside the batched GEMMs.
+* **Backpressure** — a bounded admission queue plus deadline-pressure
+  shedding (:class:`~repro.serve.http.coalescer.ShedPolicy`); refusals are
+  ``503`` with ``Retry-After``, and sheds / queue depth / latency
+  histograms land in the server's registry.
+* **Hot reload** — the live service is held in an immutable
+  :class:`ServiceSnapshot`.  ``/admin/reload`` loads and checksums the new
+  checkpoint on a side thread, builds a fresh service + index, then swaps
+  one reference.  In-flight batches captured the old snapshot, queued
+  requests run against whichever snapshot is live when their batch drains —
+  either way every request is answered from a complete snapshot, never an
+  error.  A reload that fails to load (missing file, corrupt archive,
+  fingerprint mismatch) is rejected with the old snapshot still serving.
+
+The server-level registry (``http_*`` series) survives reloads; the
+per-service registry (``service_*`` series) restarts with each generation —
+a plain Prometheus counter reset.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import functools
+import math
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.integrity import CheckpointCorruptError
+from repro.serve.checkpoint import Checkpoint, CheckpointMismatchError
+from repro.serve.http.coalescer import QueryCoalescer, RequestShed, ShedPolicy
+from repro.serve.http.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    json_payload,
+    read_request,
+    render_response,
+)
+from repro.serve.service import EmbeddingService
+
+__all__ = ["EmbeddingServer", "RequestError", "ServerConfig",
+           "ServerThread", "ServiceSnapshot"]
+
+#: Content type for the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class RequestError(Exception):
+    """A handler-level refusal mapped to an HTTP status."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+class ServerConfig:
+    """Every serving knob in one place (defaults match the in-process
+    service where the names overlap).
+
+    ``deadline_s`` is the per-search deadline the service accounts against;
+    together with ``shed_degraded_ratio`` it closes the loop: searches past
+    the deadline mark responses degraded, a degraded window past the ratio
+    sheds new admissions until pressure drains.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 metric: str = "cosine", index_kind: str = "exact",
+                 index_options: dict = None, default_topk: int = 10,
+                 cache_size: int = 1024, max_batch: int = 64,
+                 deadline_s: float = None, max_queue: int = 256,
+                 shed_degraded_ratio: float = 0.5,
+                 pressure_window: int = 512, min_observations: int = 64,
+                 retry_after_s: float = 1.0,
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 verify: bool = True, seed: int = 0):
+        self.host = host
+        self.port = int(port)
+        self.metric = metric
+        self.index_kind = index_kind
+        self.index_options = dict(index_options or {})
+        self.default_topk = int(default_topk)
+        self.cache_size = int(cache_size)
+        self.max_batch = int(max_batch)
+        self.deadline_s = deadline_s
+        self.max_queue = int(max_queue)
+        self.shed_degraded_ratio = shed_degraded_ratio
+        self.pressure_window = int(pressure_window)
+        self.min_observations = int(min_observations)
+        self.retry_after_s = float(retry_after_s)
+        self.max_body_bytes = int(max_body_bytes)
+        self.verify = bool(verify)
+        self.seed = int(seed)
+
+    def build_policy(self) -> ShedPolicy:
+        return ShedPolicy(max_queue=self.max_queue,
+                          shed_degraded_ratio=self.shed_degraded_ratio,
+                          pressure_window=self.pressure_window,
+                          min_observations=self.min_observations,
+                          retry_after_s=self.retry_after_s)
+
+
+class ServiceSnapshot:
+    """One immutable serving generation: a service plus its provenance."""
+
+    def __init__(self, generation: int, service: EmbeddingService,
+                 checkpoint_path: str = None):
+        self.generation = int(generation)
+        self.service = service
+        self.checkpoint_path = checkpoint_path
+        self.loaded_at = time.time()
+
+
+class EmbeddingServer:
+    """Asyncio HTTP front end serving one (hot-swappable) checkpoint.
+
+    Parameters
+    ----------
+    checkpoint:
+        Path to a ``repro export`` archive (reloadable), or a loaded
+        :class:`Checkpoint` (then ``/admin/reload`` needs an explicit
+        ``checkpoint`` path in its request body).
+    graph:
+        Optional training graph.  Enables ``/v1/embed`` and ``/v1/score``;
+        with ``config.verify`` every loaded checkpoint's fingerprint is
+        checked against it, including on reload.
+    config:
+        A :class:`ServerConfig`; defaults serve conservative local traffic.
+    """
+
+    def __init__(self, checkpoint, graph=None, config: ServerConfig = None):
+        self.config = config or ServerConfig()
+        self.graph = graph
+        self._source = checkpoint
+        self.registry = MetricsRegistry()
+        self.policy = self.config.build_policy()
+        self._snapshot = None
+        self._generation = 0
+        self._server = None
+        self._coalescer = None
+        self._reload_lock = None
+        self._started_at = None
+        # One worker: batches (and index-mutating embeds) are strictly
+        # serialized, which is the determinism contract of the edge.
+        self._search_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-search")
+        self._requests = functools.partial(self.registry.counter,
+                                           "http_requests_total")
+        self._latency = functools.partial(
+            self.registry.histogram, "http_request_seconds")
+        self._reloads = self.registry.counter("http_reloads_total")
+        self._reload_seconds = self.registry.histogram("http_reload_seconds")
+        self._generation_gauge = self.registry.gauge(
+            "http_snapshot_generation")
+        self._connections = self.registry.gauge("http_connections_active")
+        self._routes = {
+            "/healthz": ("GET", self._handle_healthz),
+            "/metrics": ("GET", self._handle_metrics),
+            "/v1/query": ("POST", self._handle_query),
+            "/v1/embed": ("POST", self._handle_embed),
+            "/v1/score": ("POST", self._handle_score),
+            "/admin/reload": ("POST", self._handle_reload),
+        }
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def snapshot(self) -> ServiceSnapshot:
+        return self._snapshot
+
+    async def start(self):
+        """Load the first snapshot, start the batcher and the listener."""
+        loop = asyncio.get_running_loop()
+        self._reload_lock = asyncio.Lock()
+        service, path = await loop.run_in_executor(
+            None, self._load_service, self._source)
+        self._install_snapshot(service, path)
+        self._coalescer = QueryCoalescer(self._run_batch,
+                                         self.config.max_batch, self.policy,
+                                         self.registry)
+        self._coalescer.start()
+        # A deep accept backlog: under open-loop overload, bursts of fresh
+        # connections must reach the shed policy (and get their 503) rather
+        # than die as kernel-level connection resets.
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            backlog=512)
+        self._started_at = time.time()
+        return self
+
+    async def serve_forever(self):
+        await self._server.serve_forever()
+
+    async def close(self):
+        """Stop accepting, drain every admitted request, then shut down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._coalescer is not None:
+            await self._coalescer.close()
+        self._search_pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------- snapshots
+    def _load_service(self, source):
+        """Build a fresh service from ``source`` (path or Checkpoint).
+
+        Runs on an executor thread: checkpoint decode, checksum
+        verification, and index construction happen entirely off the event
+        loop, so the live snapshot keeps answering while a reload loads.
+        """
+        path = source if isinstance(source, str) else None
+        checkpoint = Checkpoint.load(source) if path is not None else source
+        config = self.config
+        service = EmbeddingService(
+            checkpoint, graph=self.graph, metric=config.metric,
+            default_topk=config.default_topk, cache_size=config.cache_size,
+            max_batch=config.max_batch, verify=config.verify,
+            seed=config.seed, deadline_s=config.deadline_s,
+            index_kind=config.index_kind,
+            index_options=config.index_options or None)
+        return service, path
+
+    def _install_snapshot(self, service: EmbeddingService, path: str):
+        self._generation += 1
+        # Single reference assignment: in-flight batches keep the snapshot
+        # they captured; everything after this line sees the new one.
+        self._snapshot = ServiceSnapshot(self._generation, service,
+                                         checkpoint_path=path)
+        self._generation_gauge.set(self._generation)
+
+    # -------------------------------------------------------------- batching
+    async def _run_batch(self, batch):
+        """Answer one coalesced batch against the current snapshot."""
+        snapshot = self._snapshot
+        service = snapshot.service
+        limit = service.index.num_vectors
+        valid = []
+        for pending in batch:
+            # Per-item validation against the snapshot actually serving the
+            # batch: one bad id fails its own future, never the batch.
+            if not 0 <= pending.node < limit:
+                if not pending.future.done():
+                    pending.future.set_exception(RequestError(
+                        400, f"node {pending.node} out of range [0, {limit})"))
+            elif pending.topk < 0:
+                if not pending.future.done():
+                    pending.future.set_exception(RequestError(
+                        400, f"topk must be >= 0, got {pending.topk}"))
+            else:
+                valid.append(pending)
+        if not valid:
+            return
+        by_topk = {}
+        for pending in valid:
+            by_topk.setdefault(pending.topk, []).append(pending)
+        loop = asyncio.get_running_loop()
+        for topk, group in by_topk.items():
+            results = await loop.run_in_executor(
+                self._search_pool,
+                functools.partial(service.query_many,
+                                  [pending.node for pending in group],
+                                  topk=topk))
+            self.policy.record_answers(
+                len(results), sum(1 for result in results if result.degraded))
+            for pending, result in zip(group, results):
+                if not pending.future.done():
+                    pending.future.set_result(result)
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(self, reader, writer):
+        self._connections.inc()
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_body_bytes)
+                except ProtocolError as error:
+                    writer.write(render_response(
+                        error.status,
+                        json_payload({"error": error.detail}),
+                        keep_alive=False))
+                    await writer.drain()
+                    return
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return
+                if request is None:
+                    return
+                payload = await self._dispatch(request)
+                writer.write(payload)
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request) -> bytes:
+        route = self._routes.get(request.path)
+        label = request.path if route is not None else "other"
+        started = time.perf_counter()
+        content_type = "application/json"
+        extra = None
+        try:
+            if route is None:
+                raise RequestError(404, f"no route {request.path}")
+            method, handler = route
+            if request.method != method:
+                extra = {"Allow": method}
+                raise RequestError(
+                    405, f"{request.path} only accepts {method}")
+            status, body, content_type, extra = await handler(request)
+        except RequestShed as shed:
+            status = 503
+            body = json_payload({"error": "overloaded",
+                                 "reason": shed.reason,
+                                 "retry_after_s": shed.retry_after_s})
+            extra = {"Retry-After": str(max(1, math.ceil(shed.retry_after_s)))}
+        except (ProtocolError, RequestError) as error:
+            status = error.status
+            body = json_payload({"error": error.detail})
+        except Exception as error:  # the handler backstop: never hang a client
+            status = 500
+            body = json_payload(
+                {"error": f"{type(error).__name__}: {error}"})
+        self._requests(route=label, status=str(status)).inc()
+        self._latency(route=label).observe(time.perf_counter() - started)
+        return render_response(status, body, content_type=content_type,
+                               headers=extra, keep_alive=request.keep_alive)
+
+    # -------------------------------------------------------------- handlers
+    @staticmethod
+    def _json_ok(payload, extra: dict = None):
+        return 200, json_payload(payload), "application/json", extra
+
+    async def _handle_healthz(self, request):
+        snapshot = self._snapshot
+        return self._json_ok({
+            "status": "ok",
+            "generation": snapshot.generation,
+            "checkpoint": snapshot.checkpoint_path,
+            "dataset": snapshot.service.checkpoint.info.get("dataset"),
+            "num_vectors": snapshot.service.index.num_vectors,
+            "index_kind": snapshot.service.index_kind,
+            "metric": snapshot.service.metric,
+            "queue_depth": self._coalescer.depth,
+            "deadline_s": self.config.deadline_s,
+            "uptime_s": time.time() - self._started_at,
+        })
+
+    async def _handle_metrics(self, request):
+        # Two registries, disjoint families: the edge's http_* series
+        # (reload-stable) and the live generation's service_* series.
+        text = (self.registry.prometheus_text()
+                + self._snapshot.service.metrics.prometheus_text())
+        return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE, None
+
+    @staticmethod
+    def _int_field(payload, key, default=None, minimum=None,
+                   required: bool = False):
+        if key not in payload or payload[key] is None:
+            if required:
+                raise RequestError(400, f"{key!r} must be an integer")
+            return default
+        value = payload[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise RequestError(400, f"{key!r} must be an integer")
+        if minimum is not None and value < minimum:
+            raise RequestError(400, f"{key!r} must be >= {minimum}")
+        return value
+
+    async def _handle_query(self, request):
+        payload = request.json()
+        if ("node" in payload) == ("nodes" in payload):
+            raise RequestError(400, "pass exactly one of 'node' or 'nodes'")
+        if "node" in payload:
+            nodes = [self._int_field(payload, "node", required=True)]
+        else:
+            nodes = payload["nodes"]
+            if (not isinstance(nodes, list) or not nodes
+                    or not all(isinstance(node, int)
+                               and not isinstance(node, bool)
+                               for node in nodes)):
+                raise RequestError(
+                    400, "'nodes' must be a non-empty list of integers")
+        topk = self._int_field(payload, "topk", self.config.default_topk,
+                               minimum=0)
+        futures = self._coalescer.submit_many(
+            (node, topk) for node in nodes)
+        answers = await asyncio.gather(*futures, return_exceptions=True)
+        for answer in answers:
+            if isinstance(answer, RequestError):
+                raise answer
+            if isinstance(answer, BaseException):
+                raise RequestError(
+                    500, f"search failed: {type(answer).__name__}: {answer}")
+        snapshot = self._snapshot
+        return self._json_ok({
+            "results": [{
+                "node": result.query,
+                "neighbor_ids": [int(i) for i in result.neighbor_ids],
+                "scores": [float(s) for s in result.scores],
+                "cached": bool(result.cached),
+                "degraded": bool(result.degraded),
+            } for result in answers],
+            "topk": topk,
+            "generation": snapshot.generation,
+        })
+
+    def _require_graph(self, endpoint: str):
+        snapshot = self._snapshot
+        if snapshot.service.graph is None:
+            raise RequestError(
+                409, f"{endpoint} needs the server started with a graph "
+                     f"(repro serve --dataset ...)")
+        return snapshot
+
+    async def _handle_embed(self, request):
+        payload = request.json()
+        snapshot = self._require_graph("/v1/embed")
+        attributes = payload.get("attributes")
+        if not isinstance(attributes, list) or not attributes:
+            raise RequestError(
+                400, "'attributes' must be a non-empty list of rows")
+        edges = payload.get("edges", [])
+        if not isinstance(edges, list):
+            raise RequestError(400, "'edges' must be a list of [u, v] pairs")
+        num_walks = self._int_field(payload, "num_walks", None, minimum=1)
+        add_to_index = bool(payload.get("add_to_index", True))
+        service = snapshot.service
+
+        def embed():
+            before = service.index.num_vectors
+            vectors = service.embed_new(attributes, edges,
+                                        num_walks=num_walks,
+                                        add_to_index=add_to_index)
+            ids = (list(range(before, before + len(vectors)))
+                   if add_to_index else [])
+            return ids, vectors
+
+        loop = asyncio.get_running_loop()
+        try:
+            # The search pool serializes this with query batches: embeds
+            # mutate the index, so they must never interleave a search.
+            ids, vectors = await loop.run_in_executor(self._search_pool,
+                                                      embed)
+        except (ValueError, IndexError) as error:
+            raise RequestError(400, f"embed rejected: {error}") from error
+        return self._json_ok({
+            "ids": ids,
+            "vectors": [[float(x) for x in row] for row in vectors],
+            "added_to_index": add_to_index,
+            "num_vectors": service.index.num_vectors,
+            "generation": snapshot.generation,
+        })
+
+    async def _handle_score(self, request):
+        payload = request.json()
+        snapshot = self._require_graph("/v1/score")
+        has_pairs = "pairs" in payload
+        has_nodes = "nodes" in payload
+        if has_pairs == has_nodes:
+            raise RequestError(400, "pass exactly one of 'pairs' or 'nodes'")
+        service = snapshot.service
+        loop = asyncio.get_running_loop()
+        try:
+            if has_pairs:
+                pairs = payload["pairs"]
+                if (not isinstance(pairs, list) or not pairs
+                        or not all(isinstance(pair, list) and len(pair) == 2
+                                   for pair in pairs)):
+                    raise RequestError(
+                        400, "'pairs' must be a non-empty list of [u, v]")
+                scores = await loop.run_in_executor(
+                    self._search_pool,
+                    functools.partial(service.score_edges, pairs))
+                body = {"pairs": pairs,
+                        "scores": [float(s) for s in scores]}
+            else:
+                nodes = payload["nodes"]
+                if (not isinstance(nodes, list) or not nodes
+                        or not all(isinstance(node, int)
+                                   and not isinstance(node, bool)
+                                   for node in nodes)):
+                    raise RequestError(
+                        400, "'nodes' must be a non-empty list of integers")
+                if payload.get("proba", False):
+                    proba = await loop.run_in_executor(
+                        self._search_pool,
+                        functools.partial(service.classify_proba,
+                                          nodes=nodes))
+                    body = {"nodes": nodes,
+                            "proba": [[float(p) for p in row]
+                                      for row in proba]}
+                else:
+                    labels = await loop.run_in_executor(
+                        self._search_pool,
+                        functools.partial(service.classify, nodes=nodes))
+                    body = {"nodes": nodes,
+                            "labels": [int(label) for label in labels]}
+        except (ValueError, IndexError, RuntimeError) as error:
+            if isinstance(error, RequestError):
+                raise
+            raise RequestError(400, f"score rejected: {error}") from error
+        body["generation"] = snapshot.generation
+        return self._json_ok(body)
+
+    async def _handle_reload(self, request):
+        payload = request.json()
+        path = payload.get("checkpoint", self._snapshot.checkpoint_path)
+        if not path or not isinstance(path, str):
+            raise RequestError(
+                400, "no checkpoint path: the server was started from an "
+                     "in-memory checkpoint; pass {'checkpoint': <path>}")
+        loop = asyncio.get_running_loop()
+        async with self._reload_lock:
+            previous = self._snapshot
+            started = time.perf_counter()
+            try:
+                # Default executor, NOT the search pool: loading must never
+                # stall the batches still serving the old snapshot.
+                service, _ = await loop.run_in_executor(
+                    None, self._load_service, path)
+            except FileNotFoundError as error:
+                raise RequestError(
+                    404, f"reload rejected: {error}") from error
+            except (CheckpointCorruptError, CheckpointMismatchError,
+                    ValueError, OSError) as error:
+                raise RequestError(
+                    409, f"reload rejected, still serving generation "
+                         f"{previous.generation}: {error}") from error
+            self._install_snapshot(service, path)
+            elapsed = time.perf_counter() - started
+            self._reloads.inc()
+            self._reload_seconds.observe(elapsed)
+        return self._json_ok({
+            "generation": self._snapshot.generation,
+            "previous_generation": previous.generation,
+            "checkpoint": path,
+            "num_vectors": service.index.num_vectors,
+            "reload_seconds": elapsed,
+        })
+
+
+class ServerThread:
+    """Run an :class:`EmbeddingServer` on its own event loop in a thread.
+
+    The traffic bench, the CLI smoke, and the tests all drive the server
+    from synchronous code or from a *client* event loop that must not share
+    the server's; this wraps the start / serve / close lifecycle behind a
+    readiness handshake.  Use as a context manager::
+
+        with ServerThread(EmbeddingServer(path, config=config)) as handle:
+            ... http against handle.port ...
+    """
+
+    def __init__(self, server: EmbeddingServer):
+        self.server = server
+        self._thread = None
+        self._loop = None
+        self._stop = None
+        self._ready = None
+        self._error = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._main, daemon=True,
+                                        name="repro-serve-loop")
+        self._thread.start()
+        if not self._ready.wait(timeout=120):
+            raise RuntimeError("server did not start within 120 s")
+        if self._error is not None:
+            self._thread.join(timeout=10)
+            raise self._error
+        return self
+
+    def _main(self):
+        asyncio.run(self._serve())
+
+    async def _serve(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as error:
+            self._error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.close()
+
+    def stop(self):
+        if self._thread is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=120)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()

@@ -150,6 +150,23 @@ class ServiceStats:
     def degraded_responses(self) -> int:
         return self._degraded_responses.value
 
+    # Derived ratios are guarded against zero-request windows: an idle
+    # service reports 0.0 everywhere instead of raising or emitting NaN
+    # (these feed /metrics scrapes and the HTTP edge's shed policy, both of
+    # which run against freshly started servers).
+    @property
+    def deadline_miss_ratio(self) -> float:
+        """Fraction of searches that blew the deadline (0.0 when idle)."""
+        batches = self._batches.value
+        return self._deadline_misses.value / batches if batches else 0.0
+
+    @property
+    def degraded_ratio(self) -> float:
+        """Fraction of answered queries served past the deadline (0.0 when
+        idle)."""
+        queries = self._queries.value
+        return self._degraded_responses.value / queries if queries else 0.0
+
 
 class EmbeddingService:
     """Query front door over one trained checkpoint.
@@ -517,6 +534,8 @@ class EmbeddingService:
             "deadline_s": self.deadline_s,
             "deadline_misses": self._stats.deadline_misses,
             "degraded_responses": self._stats.degraded_responses,
+            "deadline_miss_ratio": self._stats.deadline_miss_ratio,
+            "degraded_ratio": self._stats.degraded_ratio,
             "cache_hits": hits,
             "cache_misses": misses,
             "cache_hit_ratio": hits / lookups if lookups else 0.0,

@@ -1,0 +1,173 @@
+"""The HTTP/1.1 wire layer: bounded parsing, framing, and JSON bodies."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http.protocol import (
+    MAX_HEADERS,
+    ProtocolError,
+    Request,
+    json_payload,
+    read_request,
+    read_response,
+    render_request,
+    render_response,
+)
+
+
+def parse_request(data: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+def parse_response(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_response(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query_string(self):
+        request = parse_request(
+            b"GET /healthz?verbose=1&name=a%20b HTTP/1.1\r\n"
+            b"Host: example\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.query == {"verbose": "1", "name": "a b"}
+        assert request.body == b""
+
+    def test_post_with_body_and_lowercased_headers(self):
+        body = json_payload({"node": 3})
+        request = parse_request(
+            b"POST /v1/query HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n"
+            + body)
+        assert request.method == "POST"
+        assert request.headers["content-type"] == "application/json"
+        assert request.json() == {"node": 3}
+
+    def test_clean_eof_returns_none(self):
+        assert parse_request(b"") is None
+
+    def test_keep_alive_default_and_close(self):
+        assert parse_request(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        closed = parse_request(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not closed.keep_alive
+
+    @pytest.mark.parametrize("line", [
+        b"NOT_A_REQUEST\r\n\r\n",
+        b"GET /\r\n\r\n",                        # missing version
+        b"GET / SPDY/3\r\n\r\n",                 # wrong protocol
+        b"GET / HTTP/1.1 extra\r\n\r\n",         # too many parts
+    ])
+    def test_malformed_request_line_is_400(self, line):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(line)
+        assert info.value.status == 400
+
+    def test_chunked_bodies_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"POST / HTTP/1.1\r\n"
+                          b"Transfer-Encoding: chunked\r\n\r\n")
+        assert info.value.status == 400
+
+    @pytest.mark.parametrize("declared", [b"abc", b"-5"])
+    def test_bad_content_length_is_400(self, declared):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: "
+                          + declared + b"\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_oversized_body_is_413_before_reading_it(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 64\r\n\r\n"
+                          + b"x" * 64, max_body=16)
+        assert info.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert info.value.status == 400
+
+    def test_header_flood_is_431(self):
+        flood = b"".join(b"X-H%d: v\r\n" % i for i in range(MAX_HEADERS + 1))
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"GET / HTTP/1.1\r\n" + flood + b"\r\n")
+        assert info.value.status == 431
+
+    def test_malformed_header_line_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert info.value.status == 400
+
+
+class TestRequestJson:
+    def test_empty_body_is_empty_object(self):
+        assert Request("POST", "/", {}, {}, b"").json() == {}
+
+    def test_invalid_json_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            Request("POST", "/", {}, {}, b"{nope").json()
+        assert info.value.status == 400
+
+    def test_non_object_json_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            Request("POST", "/", {}, {}, b"[1,2]").json()
+        assert info.value.status == 400
+
+
+class TestRendering:
+    def test_response_roundtrip(self):
+        body = json_payload({"status": "ok"})
+        wire = render_response(200, body, headers={"Retry-After": "2"})
+        response = parse_response(wire)
+        assert response.status == 200
+        assert response.headers["retry-after"] == "2"
+        assert response.headers["content-length"] == str(len(body))
+        assert response.json() == {"status": "ok"}
+
+    def test_response_connection_header_tracks_keep_alive(self):
+        assert b"Connection: keep-alive" in render_response(200, b"{}")
+        assert b"Connection: close" in render_response(
+            200, b"{}", keep_alive=False)
+
+    def test_response_reason_phrases(self):
+        assert render_response(503, b"").startswith(
+            b"HTTP/1.1 503 Service Unavailable\r\n")
+        assert render_response(418, b"").startswith(b"HTTP/1.1 418 Unknown")
+
+    def test_request_roundtrip(self):
+        body = json_payload({"node": 1})
+        request = parse_request(render_request("post", "/v1/query", body))
+        assert request.method == "POST"
+        assert request.path == "/v1/query"
+        assert request.headers["host"] == "localhost"
+        assert request.json() == {"node": 1}
+
+    def test_content_length_frames_consecutive_messages(self):
+        # Two pipelined requests on one stream parse independently — the
+        # framing contract keep-alive connections rely on.
+        first = render_request("POST", "/a", json_payload({"i": 1}))
+        second = render_request("POST", "/b", json_payload({"i": 2}))
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(first + second)
+            reader.feed_eof()
+            return await read_request(reader), await read_request(reader)
+
+        one, two = asyncio.run(go())
+        assert (one.path, one.json()) == ("/a", {"i": 1})
+        assert (two.path, two.json()) == ("/b", {"i": 2})

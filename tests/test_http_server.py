@@ -1,0 +1,377 @@
+"""EmbeddingServer: routes, coalescing determinism, shedding, hot reload."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import CoANE, CoANEConfig
+from repro.serve import Checkpoint, EmbeddingService
+from repro.serve.http import EmbeddingServer, ServerConfig, ServerThread, ShedPolicy
+from repro.serve.http.loadgen import run_open_loop, summarize
+from repro.serve.http.protocol import (
+    json_payload,
+    read_response,
+    render_request,
+)
+
+MAX_BATCH = 8
+MAX_QUEUE = 64
+
+
+@pytest.fixture(scope="module")
+def checkpoint(small_graph):
+    estimator = CoANE(CoANEConfig(embedding_dim=16, epochs=10, seed=0))
+    estimator.fit(small_graph)
+    return Checkpoint.from_estimator(estimator, small_graph)
+
+
+@pytest.fixture(scope="module")
+def checkpoint_path(checkpoint, tmp_path_factory):
+    path = tmp_path_factory.mktemp("http") / "model.ckpt.npz"
+    checkpoint.save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def server(checkpoint_path, small_graph):
+    # cache_size=0: every query hits the search path, so determinism
+    # comparisons never see a cached-vs-fresh asymmetry.
+    config = ServerConfig(port=0, cache_size=0, max_batch=MAX_BATCH,
+                          max_queue=MAX_QUEUE, default_topk=10, seed=0)
+    instance = EmbeddingServer(checkpoint_path, graph=small_graph,
+                               config=config)
+    with ServerThread(instance):
+        yield instance
+
+
+async def _call_async(port, method, path, obj=None, headers=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        merged = {"Connection": "close"}
+        merged.update(headers or {})
+        body = json_payload(obj) if obj is not None else b""
+        writer.write(render_request(method, path, body, headers=merged))
+        await writer.drain()
+        return await read_response(reader)
+    finally:
+        writer.close()
+
+
+def call(server, method, path, obj=None, headers=None):
+    return asyncio.run(_call_async(server.port, method, path, obj=obj,
+                                   headers=headers))
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        response = call(server, "GET", "/healthz")
+        body = response.json()
+        assert response.status == 200
+        assert body["status"] == "ok"
+        assert body["num_vectors"] >= 120
+        assert body["generation"] >= 1
+
+    def test_query_matches_direct_service(self, server, checkpoint):
+        response = call(server, "POST", "/v1/query", {"node": 3, "topk": 5})
+        assert response.status == 200
+        result = response.json()["results"][0]
+        direct = EmbeddingService(checkpoint, metric="cosine", cache_size=0,
+                                  verify=False, seed=0).query(3, topk=5)
+        assert result["neighbor_ids"] == [int(i) for i in direct.neighbor_ids]
+        # JSON float round-trips are exact (repr), so so is this comparison.
+        assert result["scores"] == [float(s) for s in direct.scores]
+
+    def test_query_many_preserves_order(self, server):
+        nodes = [9, 1, 5, 1]
+        response = call(server, "POST", "/v1/query",
+                        {"nodes": nodes, "topk": 3})
+        assert response.status == 200
+        body = response.json()
+        assert [entry["node"] for entry in body["results"]] == nodes
+        assert body["topk"] == 3
+
+    def test_query_uses_default_topk(self, server):
+        response = call(server, "POST", "/v1/query", {"node": 0})
+        assert len(response.json()["results"][0]["neighbor_ids"]) == 10
+
+    def test_unknown_route_is_404(self, server):
+        assert call(server, "GET", "/nope").status == 404
+
+    def test_wrong_method_is_405_with_allow(self, server):
+        response = call(server, "GET", "/v1/query")
+        assert response.status == 405
+        assert response.headers["allow"] == "POST"
+
+    @pytest.mark.parametrize("payload", [
+        {},                              # neither node nor nodes
+        {"node": 1, "nodes": [2]},       # both
+        {"node": None},                  # JSON null
+        {"node": "3"},                   # wrong type
+        {"node": True},                  # bool is not an int here
+        {"nodes": []},                   # empty batch
+        {"nodes": [1, "2"]},             # mixed types
+        {"node": 1, "topk": -1},         # negative topk
+        {"node": 1, "topk": "5"},        # non-integer topk
+    ])
+    def test_invalid_query_payloads_are_400(self, server, payload):
+        response = call(server, "POST", "/v1/query", payload)
+        assert response.status == 400, response.json()
+
+    def test_out_of_range_node_is_400_not_500(self, server):
+        response = call(server, "POST", "/v1/query", {"node": 10 ** 6})
+        assert response.status == 400
+        assert "out of range" in response.json()["error"]
+
+    def test_undecodable_body_is_400(self, server):
+        async def go():
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            try:
+                writer.write(render_request(
+                    "POST", "/v1/query", b"{not json",
+                    headers={"Connection": "close"}))
+                await writer.drain()
+                return await read_response(reader)
+            finally:
+                writer.close()
+
+        assert asyncio.run(go()).status == 400
+
+    def test_keep_alive_serves_sequential_requests(self, server):
+        async def go():
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            try:
+                statuses = []
+                for node in (1, 2):
+                    writer.write(render_request(
+                        "POST", "/v1/query",
+                        json_payload({"node": node, "topk": 2})))
+                    await writer.drain()
+                    statuses.append((await read_response(reader)).status)
+                return statuses
+            finally:
+                writer.close()
+
+        assert asyncio.run(go()) == [200, 200]
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_series_present(self, server):
+        call(server, "POST", "/v1/query", {"node": 2})
+        response = call(server, "GET", "/metrics")
+        assert response.status == 200
+        assert response.headers["content-type"].startswith("text/plain")
+        text = response.body.decode()
+        assert "http_queue_depth" in text
+        assert "http_sheds_total" in text
+        assert "http_request_seconds_bucket" in text
+        assert "service_queries_total" in text
+
+    def test_scrape_has_no_nan(self, server):
+        # An idle-ish server must never export NaN from a zero-denominator
+        # ratio — the scrape would silently poison every derived panel.
+        text = call(server, "GET", "/metrics").body.decode().lower()
+        assert "nan" not in text
+
+    def test_idle_service_stats_ratios_are_zero(self, checkpoint):
+        stats = EmbeddingService(checkpoint, verify=False).stats()
+        assert stats["deadline_miss_ratio"] == 0.0
+        assert stats["degraded_ratio"] == 0.0
+
+
+class TestCoalescingDeterminism:
+    def test_concurrent_equals_serial_byte_for_byte(self, server, checkpoint):
+        nodes = list(range(24))
+
+        async def concurrent():
+            return await asyncio.gather(*[
+                _call_async(server.port, "POST", "/v1/query",
+                            {"node": node, "topk": 6})
+                for node in nodes])
+
+        responses = asyncio.run(concurrent())
+        service = EmbeddingService(checkpoint, metric="cosine", cache_size=0,
+                                   verify=False, seed=0)
+        for node, response in zip(nodes, responses):
+            assert response.status == 200
+            result = response.json()["results"][0]
+            serial = service.query(node, topk=6)
+            assert result["neighbor_ids"] == [int(i)
+                                              for i in serial.neighbor_ids]
+            assert result["scores"] == [float(s) for s in serial.scores]
+
+    def test_coalesced_batches_respect_max_batch(self, server):
+        response = call(server, "POST", "/v1/query",
+                        {"nodes": list(range(3 * MAX_BATCH - 4), ), "topk": 2})
+        assert response.status == 200
+        sizes = server.registry.histogram("http_batch_size")
+        assert sizes.max <= MAX_BATCH
+        assert sizes.count >= 3
+
+
+class TestShedding:
+    def test_policy_queue_full(self):
+        policy = ShedPolicy(max_queue=4)
+        assert policy.admit(depth=0, incoming=4) is None
+        assert policy.admit(depth=3, incoming=2) == "queue_full"
+
+    def test_policy_pressure_needs_min_observations(self):
+        policy = ShedPolicy(max_queue=100, shed_degraded_ratio=0.5,
+                            min_observations=10)
+        policy.record_answers(5, 5)          # 100% degraded, window too small
+        assert policy.admit(depth=0) is None
+        policy.record_answers(5, 5)
+        assert policy.admit(depth=0) == "deadline_pressure"
+
+    def test_policy_sheds_dilute_and_reopen(self):
+        policy = ShedPolicy(max_queue=100, shed_degraded_ratio=0.5,
+                            pressure_window=64, min_observations=8)
+        policy.record_answers(8, 8)
+        assert policy.admit(depth=0) == "deadline_pressure"
+        # Each shed enters the window as an on-time entry; enough of them
+        # pull the ratio back under the threshold — admission re-opens
+        # without any clock involved.
+        for _ in range(8):
+            policy.record_shed()
+        assert policy.degraded_ratio == 0.5
+        assert policy.admit(depth=0) is None
+
+    def test_policy_window_slides(self):
+        policy = ShedPolicy(max_queue=100, shed_degraded_ratio=0.5,
+                            pressure_window=10, min_observations=4)
+        policy.record_answers(10, 10)
+        policy.record_answers(10, 0)         # evicts the degraded batch
+        assert policy.degraded_ratio == 0.0
+
+    def test_policy_none_ratio_disables_pressure(self):
+        policy = ShedPolicy(max_queue=100, shed_degraded_ratio=None,
+                            min_observations=1)
+        policy.record_answers(10, 10)
+        assert policy.admit(depth=0) is None
+
+    def test_oversized_batch_sheds_with_retry_after(self, server):
+        # All-or-nothing admission: a batch larger than the whole queue can
+        # never be half-admitted, so it sheds deterministically.
+        before = server.registry.counter("http_sheds_total",
+                                         reason="queue_full").value
+        response = call(server, "POST", "/v1/query",
+                        {"nodes": list(range(MAX_QUEUE + 1))})
+        assert response.status == 503
+        body = response.json()
+        assert body["error"] == "overloaded"
+        assert body["reason"] == "queue_full"
+        assert int(response.headers["retry-after"]) >= 1
+        after = server.registry.counter("http_sheds_total",
+                                        reason="queue_full").value
+        assert after - before == MAX_QUEUE + 1
+
+
+class TestHotReload:
+    def test_reload_under_load_drops_nothing(self, server, checkpoint_path):
+        generation = server.snapshot.generation
+
+        async def reload():
+            response = await _call_async(server.port, "POST", "/admin/reload",
+                                         {"checkpoint": checkpoint_path})
+            return response.status
+
+        async def burst():
+            offsets = np.linspace(0.0, 0.4, 60)
+            nodes = np.arange(60) % 100
+            return await run_open_loop("127.0.0.1", server.port, offsets,
+                                       nodes, topk=4,
+                                       actions=[(0.2, reload)])
+
+        records = asyncio.run(burst())
+        report = summarize(records)
+        assert report["requests"] == 60
+        assert report["ok"] == 60           # zero drops, zero non-200s
+        assert report["errors"] == 0
+        assert [r["result"] for r in records
+                if r.get("outcome") == "action"] == [200]
+        assert server.snapshot.generation == generation + 1
+
+    def test_reload_missing_file_is_404_and_keeps_serving(self, server):
+        generation = server.snapshot.generation
+        response = call(server, "POST", "/admin/reload",
+                        {"checkpoint": "/nonexistent/model.ckpt.npz"})
+        assert response.status == 404
+        assert server.snapshot.generation == generation
+        assert call(server, "POST", "/v1/query", {"node": 1}).status == 200
+
+    def test_reload_corrupt_archive_is_409_and_keeps_serving(
+            self, server, tmp_path):
+        bad = tmp_path / "corrupt.ckpt.npz"
+        bad.write_bytes(b"this is not an npz archive")
+        generation = server.snapshot.generation
+        response = call(server, "POST", "/admin/reload",
+                        {"checkpoint": str(bad)})
+        assert response.status == 409
+        assert f"still serving generation {generation}" \
+            in response.json()["error"]
+        assert server.snapshot.generation == generation
+
+    def test_reload_fingerprint_mismatch_is_409(self, server, tiny_graph,
+                                                tmp_path):
+        # The server was started with graph=small_graph and verify=True: a
+        # checkpoint trained on a different graph must be refused.
+        estimator = CoANE(CoANEConfig(embedding_dim=16, epochs=2, seed=1))
+        estimator.fit(tiny_graph)
+        other = tmp_path / "other.ckpt.npz"
+        Checkpoint.from_estimator(estimator, tiny_graph).save(str(other))
+        generation = server.snapshot.generation
+        response = call(server, "POST", "/admin/reload",
+                        {"checkpoint": str(other)})
+        assert response.status == 409
+        assert server.snapshot.generation == generation
+
+    def test_reload_success_reports_generations(self, server,
+                                                checkpoint_path):
+        generation = server.snapshot.generation
+        response = call(server, "POST", "/admin/reload",
+                        {"checkpoint": checkpoint_path})
+        body = response.json()
+        assert response.status == 200
+        assert body["previous_generation"] == generation
+        assert body["generation"] == generation + 1
+        assert body["reload_seconds"] > 0
+
+
+class TestGraphEndpoints:
+    def test_score_pairs(self, server):
+        response = call(server, "POST", "/v1/score",
+                        {"pairs": [[0, 1], [2, 3]]})
+        body = response.json()
+        assert response.status == 200
+        assert len(body["scores"]) == 2
+        assert all(0.0 <= s <= 1.0 for s in body["scores"])
+
+    def test_classify_nodes(self, server):
+        response = call(server, "POST", "/v1/score", {"nodes": [0, 1, 2]})
+        assert response.status == 200
+        assert len(response.json()["labels"]) == 3
+
+    def test_embed_adds_queryable_vector(self, server, small_graph):
+        before = call(server, "GET", "/healthz").json()["num_vectors"]
+        attributes = [[1.0] * small_graph.attributes.shape[1]]
+        response = call(server, "POST", "/v1/embed",
+                        {"attributes": attributes,
+                         "edges": [[before, 0], [before, 1]]})
+        body = response.json()
+        assert response.status == 200
+        assert body["ids"] == [before]
+        assert body["num_vectors"] == before + 1
+        follow_up = call(server, "POST", "/v1/query", {"node": before})
+        assert follow_up.status == 200
+
+    def test_score_without_graph_is_409(self, checkpoint_path):
+        config = ServerConfig(port=0, verify=False)
+        instance = EmbeddingServer(checkpoint_path, config=config)
+        with ServerThread(instance):
+            response = call(instance, "POST", "/v1/score",
+                            {"pairs": [[0, 1]]})
+            assert response.status == 409
+            assert call(instance, "POST", "/v1/query",
+                        {"node": 0}).status == 200

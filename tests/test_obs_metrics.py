@@ -139,6 +139,23 @@ class TestExporters:
         assert "latency_seconds_sum 0.05" in text
         assert "latency_seconds_count 1" in text
 
+    def test_prometheus_label_values_are_escaped(self, registry):
+        # The exposition format requires backslash, double-quote, and
+        # newline escaped inside label values — otherwise one hostile or
+        # merely unlucky value (a path, an error string) corrupts the
+        # whole scrape.
+        registry.counter("requests_total",
+                         path='C:\\tmp\\"a"\nb').inc()
+        text = registry.prometheus_text()
+        assert ('requests_total{path="C:\\\\tmp\\\\\\"a\\"\\nb"} 1'
+                in text)
+        assert "\n\n" not in text.strip()  # no raw newline leaked mid-series
+
+    def test_prometheus_plain_labels_unchanged(self, registry):
+        registry.counter("requests_total", route="/v1/query").inc()
+        assert ('requests_total{route="/v1/query"} 1'
+                in registry.prometheus_text())
+
     def test_empty_registry_exports_empty(self, registry):
         assert registry.prometheus_text() == ""
         assert registry.snapshot() == {"counters": {}, "gauges": {},

@@ -1,0 +1,105 @@
+"""Traffic bench: schedule determinism, zero-guarded math, report shape."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CoANE, CoANEConfig
+from repro.perf import run_traffic_bench, write_report
+from repro.serve import Checkpoint
+from repro.serve.http.loadgen import build_schedule, percentile_ms, summarize
+
+
+class TestSchedule:
+    def test_same_seed_is_byte_identical(self):
+        first = build_schedule(100.0, 50, 30, seed=7)
+        second = build_schedule(100.0, 50, 30, seed=7)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_different_seed_differs(self):
+        offsets_a, _ = build_schedule(100.0, 50, 30, seed=1)
+        offsets_b, _ = build_schedule(100.0, 50, 30, seed=2)
+        assert not np.array_equal(offsets_a, offsets_b)
+
+    def test_offsets_ascend_and_nodes_in_range(self):
+        offsets, nodes = build_schedule(200.0, 100, 12, seed=0)
+        assert np.all(np.diff(offsets) >= 0)
+        assert nodes.min() >= 0 and nodes.max() < 12
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0, "num_requests": 1, "num_nodes": 1},
+        {"rate": 10.0, "num_requests": 0, "num_nodes": 1},
+        {"rate": 10.0, "num_requests": 1, "num_nodes": 0},
+    ])
+    def test_invalid_schedule_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            build_schedule(**kwargs)
+
+
+class TestZeroGuards:
+    def test_percentile_of_nothing_is_none(self):
+        assert percentile_ms([], 99) is None
+        assert percentile_ms(None, 50) is None
+
+    def test_summarize_empty_window(self):
+        report = summarize([])
+        assert report["requests"] == 0
+        assert report["shed_ratio"] == 0.0
+        assert report["error_ratio"] == 0.0
+        assert report["latency_ms"]["p99"] is None
+        assert report["latency_ms"]["mean"] is None
+        json.dumps(report)  # and it serialises without NaN surprises
+
+    def test_summarize_classifies_outcomes(self):
+        records = [
+            {"outcome": "response", "status": 200, "latency_s": 0.010},
+            {"outcome": "response", "status": 200, "latency_s": 0.020,
+             "degraded": True},
+            {"outcome": "response", "status": 503, "latency_s": 0.001},
+            {"outcome": "response", "status": 500, "latency_s": 0.002},
+            {"outcome": "timeout", "status": None, "latency_s": 1.0},
+            {"outcome": "bad_payload", "status": 200, "latency_s": 0.003},
+            {"outcome": "action", "result": 200},
+        ]
+        report = summarize(records, offered_rate=100.0)
+        assert report["requests"] == 6          # the action is not a request
+        assert report["ok"] == 2
+        assert report["shed"] == 1
+        assert report["errors"] == 3            # 500 + timeout + bad payload
+        assert report["degraded"] == 1
+        assert report["status_counts"]["503"] == 1
+        assert report["latency_ms"]["count"] == 2
+        # Latency percentiles come from clean 200s only.
+        assert report["latency_ms"]["max"] == pytest.approx(20.0)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def checkpoint_path(self, small_graph, tmp_path_factory):
+        estimator = CoANE(CoANEConfig(embedding_dim=16, epochs=5, seed=0))
+        estimator.fit(small_graph)
+        path = tmp_path_factory.mktemp("traffic") / "model.ckpt.npz"
+        Checkpoint.from_estimator(estimator, small_graph).save(str(path))
+        return str(path)
+
+    def test_mini_bench_report_shape(self, checkpoint_path, tmp_path):
+        report = run_traffic_bench(checkpoint_path=checkpoint_path,
+                                   rates=(50,), duration_s=0.4, seed=3,
+                                   warmup_requests=4, deadline_ms=1000.0)
+        assert report["benchmark"] == "traffic"
+        assert len(report["sweep"]) == 1
+        burst = report["sweep"][0]
+        assert burst["requests"] == 20
+        assert burst["errors"] == 0
+        assert report["reload"]["reload"]["generation_after"] \
+            == report["reload"]["reload"]["generation_before"] + 1
+        assert report["reload"]["clean"] is True
+        assert all(report["metrics_series"].values())
+
+        path = write_report(report, str(tmp_path / "BENCH_traffic.json"))
+        with open(path) as handle:
+            stored = json.load(handle)
+        context = stored["run_context"]
+        assert set(context) >= {"commit", "python", "numpy", "platform"}
